@@ -1,0 +1,49 @@
+//! Figure 11: reduction factor in satellites required for full ground
+//! track coverage — direct deploy vs. max-precision tiling vs. Kodan —
+//! for every application on the flight-representative Orin 15W.
+
+use kodan::coverage::coverage_comparison;
+use kodan::mission::SpaceEnvironment;
+use kodan_bench::{banner, bench_artifacts, f, n, row, s};
+use kodan_hw::targets::HwTarget;
+use kodan_ml::zoo::ModelArch;
+
+fn main() {
+    banner(
+        "Figure 11: constellation-size reduction for full coverage",
+        "Satellites required (Orin 15W) and Kodan's reduction factor",
+    );
+    let env = SpaceEnvironment::landsat(1);
+    let target = HwTarget::OrinAgx15W;
+
+    row(&[
+        s("app"),
+        s("direct"),
+        s("max-prec"),
+        s("kodan"),
+        s("reduction"),
+    ]);
+    let mut max_reduction = 0.0f64;
+    for arch in ModelArch::ALL {
+        let artifacts = bench_artifacts(arch);
+        let cmp = coverage_comparison(
+            &artifacts,
+            target,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        max_reduction = max_reduction.max(cmp.reduction_vs_direct());
+        row(&[
+            s(&format!("App {}", arch.app_number())),
+            n(cmp.direct_deploy as u64),
+            n(cmp.max_precision_tiling as u64),
+            n(cmp.kodan as u64),
+            f(cmp.reduction_vs_direct()),
+        ]);
+    }
+    println!();
+    println!(
+        "Maximum reduction factor: {max_reduction:.1}x (paper: up to 12x for \
+         the heaviest application)."
+    );
+}

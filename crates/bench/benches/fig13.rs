@@ -1,0 +1,81 @@
+//! Figure 13: the effect of frame tiling on accuracy (left) and
+//! precision (right) for every application, at the paper's tile counts
+//! (121 / 36 / 16 / 9 tiles per frame).
+//!
+//! Each application has its own optimal tiling because its input
+//! resolution interacts differently with the decimation/interpolation
+//! pipeline.
+
+use kodan::tiling::{accuracy_optimal_grid, precision_optimal_grid, tiling_sweep};
+use kodan::mission::SpaceEnvironment;
+use kodan_bench::{banner, bench_artifacts, f, row, s};
+use kodan_hw::targets::HwTarget;
+use kodan_ml::zoo::ModelArch;
+
+fn main() {
+    banner(
+        "Figure 13: effect of tiling on accuracy and precision",
+        "Global model evaluated at 121/36/16/9 tiles per frame",
+    );
+    let env = SpaceEnvironment::landsat(1);
+
+    println!();
+    row(&[
+        s("app"),
+        s("121 acc"),
+        s("36 acc"),
+        s("16 acc"),
+        s("9 acc"),
+        s("opt tiles"),
+    ]);
+    let mut sweeps = Vec::new();
+    for arch in ModelArch::ALL {
+        let artifacts = bench_artifacts(arch);
+        let sweep = tiling_sweep(
+            &artifacts,
+            HwTarget::Gtx1070Ti,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let by_grid = |g: usize| {
+            sweep
+                .iter()
+                .find(|p| p.grid == g)
+                .expect("grid present")
+        };
+        row(&[
+            s(&format!("App {}", arch.app_number())),
+            f(by_grid(11).accuracy),
+            f(by_grid(6).accuracy),
+            f(by_grid(4).accuracy),
+            f(by_grid(3).accuracy),
+            s(&format!("{}", accuracy_optimal_grid(&sweep).pow(2))),
+        ]);
+        sweeps.push((arch, sweep));
+    }
+
+    println!();
+    row(&[
+        s("app"),
+        s("121 prec"),
+        s("36 prec"),
+        s("16 prec"),
+        s("9 prec"),
+        s("opt tiles"),
+    ]);
+    for (arch, sweep) in &sweeps {
+        let by_grid = |g: usize| sweep.iter().find(|p| p.grid == g).expect("grid present");
+        row(&[
+            s(&format!("App {}", arch.app_number())),
+            f(by_grid(11).precision),
+            f(by_grid(6).precision),
+            f(by_grid(4).precision),
+            f(by_grid(3).precision),
+            s(&format!("{}", precision_optimal_grid(sweep).pow(2))),
+        ]);
+    }
+    println!();
+    println!("Expected shape: per-app interior optima; the accuracy-optimal");
+    println!("tile count can differ from the precision-optimal one, and both");
+    println!("vary across model architectures.");
+}

@@ -1,0 +1,40 @@
+//! Figure 3: unique global frames observed per day versus constellation
+//! size, against the daily-global-coverage threshold.
+
+use kodan_bench::{banner, f, n, row, s};
+use kodan_cote::coverage::coverage_sweep;
+use kodan_cote::orbit::Orbit;
+use kodan_cote::sensor::Imager;
+use kodan_cote::time::Duration;
+use kodan_cote::wrs::WorldReferenceSystem;
+
+fn main() {
+    banner(
+        "Figure 3: unique global frames observed per day",
+        "Spread (multi-plane) constellations over the WRS-2-like scene grid",
+    );
+    let base = Orbit::sun_synchronous(705_000.0);
+    let imager = Imager::landsat_oli();
+    let wrs = WorldReferenceSystem::wrs2_like();
+    let counts = [1usize, 8, 16, 24, 32, 40, 48, 56];
+    let reports = coverage_sweep(base, &counts, &imager, &wrs, Duration::from_days(1.0));
+
+    row(&[
+        s("satellites"),
+        s("uniq scenes"),
+        s("total"),
+        s("coverage"),
+    ]);
+    for r in &reports {
+        row(&[
+            n(r.satellite_count as u64),
+            n(r.unique_scenes as u64),
+            n(u64::from(r.total_scenes)),
+            f(r.coverage_fraction()),
+        ]);
+    }
+    println!();
+    println!("Expected shape: coverage rises steeply, with diminishing returns");
+    println!("from overlapping ground tracks; daily global coverage needs tens");
+    println!("of satellites (the paper reads ~40 off the equivalent curve).");
+}

@@ -1,0 +1,58 @@
+//! Figure 4: frames per satellite per day — observed on orbit, bent-pipe
+//! downlinked, and ideal-OEC downlinked, split into high-value and
+//! low-value data.
+//!
+//! Uses the 67 % global cloud climatology [23]. Ideal OEC filters with
+//! perfect accuracy and zero execution time, so it fills the downlink
+//! with nothing but high-value data.
+
+use kodan_bench::{banner, climatology_world, f, n, row, s};
+use kodan::mission::SpaceEnvironment;
+
+fn main() {
+    banner(
+        "Figure 4: frames per satellite per day",
+        "Observed vs. bent pipe vs. ideal OEC, high-/low-value split (67% cloud)",
+    );
+    let env = SpaceEnvironment::landsat(1);
+    let world = climatology_world();
+
+    // Measure the high-value prevalence the satellite actually observes
+    // along its ground track.
+    let params = kodan_bench::bench_mission_params();
+    let mission = kodan::mission::Mission::new(&env, &world, params);
+    let frames = mission.sample_frames();
+    let hv: f64 = frames.iter().map(|fr| fr.high_value_fraction()).sum::<f64>()
+        / frames.len() as f64;
+
+    let observed = env.frames_per_day as f64;
+    let downlinkable = observed * env.capacity_fraction;
+
+    row(&[s("column"), s("high-value"), s("low-value"), s("total")]);
+    row(&[
+        s("observed"),
+        n((observed * hv) as u64),
+        n((observed * (1.0 - hv)) as u64),
+        n(observed as u64),
+    ]);
+    row(&[
+        s("bent pipe"),
+        n((downlinkable * hv) as u64),
+        n((downlinkable * (1.0 - hv)) as u64),
+        n(downlinkable as u64),
+    ]);
+    // Ideal OEC: downlink only high-value frames, up to capacity.
+    let ideal_hv = downlinkable.min(observed * hv);
+    row(&[s("ideal OEC"), n(ideal_hv as u64), n(0), n(ideal_hv as u64)]);
+
+    println!();
+    let improvement = ideal_hv / (downlinkable * hv);
+    println!(
+        "Ideal edge filtering delivers {improvement:.1}x more high-value data \
+         than the bent pipe (paper: ~3x at 67% cloud cover)."
+    );
+    println!(
+        "Observed high-value prevalence along track: {} (paper: ~1/3).",
+        f(hv)
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 5: percent of observed (global, unique) high-value data
+//! downlinked — bent pipe versus direct deployment of a cloud filter —
+//! as constellation size grows.
+//!
+//! The denominator is the fixed pool of unique global frames (the WRS
+//! grid); the numerator is what the whole constellation delivers per
+//! day. Bent-pipe delivery rises with satellite count by claiming idle
+//! ground-station time, then saturates. The direct-deployed filter is
+//! App 1 on the Orin 15W — far over the frame deadline, like the paper's
+//! 98 s reference filter — so it beats the bent pipe only modestly
+//! instead of realizing the ideal ~3x.
+
+use kodan::mission::{Mission, SpaceEnvironment, SystemKind};
+use kodan::runtime::Runtime;
+use kodan::selection::SelectionLogic;
+use kodan_bench::{banner, bench_artifacts, bench_mission_params, climatology_world, f, n, row, s};
+use kodan_cote::wrs::WorldReferenceSystem;
+use kodan_hw::targets::HwTarget;
+use kodan_ml::zoo::ModelArch;
+
+fn main() {
+    banner(
+        "Figure 5: observed high-value data downlinked (%)",
+        "Constellation-total delivery vs. the global unique-frame pool",
+    );
+    let world = climatology_world();
+    let artifacts = bench_artifacts(ModelArch::MobileNetV2DilatedC1);
+    let target = HwTarget::OrinAgx15W;
+    let unique_frames = f64::from(WorldReferenceSystem::wrs2_like().scene_count());
+
+    row(&[
+        s("satellites"),
+        s("bent pipe %"),
+        s("direct %"),
+        s("frame time s"),
+    ]);
+    for &count in &[1usize, 8, 16, 24, 32, 40, 48, 56] {
+        let env = SpaceEnvironment::landsat(count);
+        let mission = Mission::new(&env, &world, bench_mission_params());
+        let bent = mission.run_bent_pipe();
+
+        let logic = SelectionLogic::direct_deploy(
+            &artifacts,
+            target,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let runtime = Runtime::new(logic, artifacts.engine.clone());
+        let direct = mission.run_with_runtime(&runtime, SystemKind::DirectDeploy);
+
+        // Scale per-satellite delivery to the constellation, against the
+        // fixed global pool of unique high-value frame data.
+        let px_per_frame = bent.accounting.observed_px / env.frames_per_day as f64;
+        let prevalence = bent.accounting.observed_value_px / bent.accounting.observed_px;
+        let unique_hv_px = unique_frames * px_per_frame * prevalence;
+        let pct = |value_px: f64| (count as f64 * value_px / unique_hv_px * 100.0).min(100.0);
+
+        row(&[
+            n(count as u64),
+            f(pct(bent.accounting.downlinked_value_px())),
+            f(pct(direct.accounting.downlinked_value_px())),
+            f(direct.mean_frame_time.as_seconds()),
+        ]);
+    }
+    println!();
+    println!("Expected shape: both curves rise with satellite count, then");
+    println!("flatten as the ground segment saturates; direct deployment");
+    println!("improves on the bent pipe only modestly (paper: ~9%) because");
+    println!("the filter cannot keep up with the frame deadline.");
+}

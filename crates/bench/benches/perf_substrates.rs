@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the hot substrate paths: frame
+//! rendering, tiling + resize, feature extraction, model inference,
+//! k-means, and orbit propagation. These quantify the simulator's own
+//! cost (not the paper's results) and guard against performance
+//! regressions in the inner loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use kodan::specialize::{tile_features, SpecializedModel};
+use kodan_cote::orbit::Orbit;
+use kodan_cote::propagate::propagate;
+use kodan_cote::time::Duration;
+use kodan_geodata::frame::World;
+use kodan_geodata::pixel::CHANNELS;
+use kodan_geodata::resize::resize_channels;
+use kodan_geodata::tile::tile_frame;
+use kodan_ml::kmeans::KMeans;
+use kodan_ml::metrics::DistanceMetric;
+use kodan_ml::train::TrainConfig;
+use kodan_ml::zoo::ModelArch;
+
+fn bench_frame_render(c: &mut Criterion) {
+    let world = World::new(42);
+    c.bench_function("render_frame_66px", |b| {
+        b.iter(|| world.render_frame(black_box(12.0), black_box(-71.0), 0.0, 66, 150.0))
+    });
+}
+
+fn bench_tiling_and_resize(c: &mut Criterion) {
+    let world = World::new(42);
+    let frame = world.render_frame(12.0, -71.0, 0.0, 132, 150.0);
+    c.bench_function("tile_frame_grid6", |b| {
+        b.iter(|| tile_frame(black_box(&frame), 6))
+    });
+    let tiles = tile_frame(&frame, 6);
+    c.bench_function("resize_tile_22_to_28", |b| {
+        b.iter(|| resize_channels(black_box(tiles[0].channels()), 22, CHANNELS, 28))
+    });
+}
+
+fn bench_features_and_inference(c: &mut Criterion) {
+    let world = World::new(42);
+    let frame = world.render_frame(12.0, -71.0, 0.0, 132, 150.0);
+    let tiles = tile_frame(&frame, 6);
+    c.bench_function("tile_features_r22", |b| {
+        b.iter(|| tile_features(black_box(&tiles[0]), 22))
+    });
+
+    let model = SpecializedModel::train_global(
+        &tiles,
+        ModelArch::ResNet50DilatedPpm,
+        2_000,
+        &TrainConfig::fast(1),
+    );
+    c.bench_function("model_predict_tile", |b| {
+        b.iter(|| model.predict_tile(black_box(&tiles[0])))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let world = World::new(42);
+    let frame = world.render_frame(12.0, -71.0, 0.0, 132, 150.0);
+    let tiles = tile_frame(&frame, 11);
+    let labels: Vec<Vec<f64>> = tiles.iter().map(|t| t.label_vector().to_vec()).collect();
+    c.bench_function("kmeans_k6_121tiles", |b| {
+        b.iter(|| KMeans::fit(black_box(&labels), 6, DistanceMetric::Euclidean, 42))
+    });
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let orbit = Orbit::sun_synchronous(705_000.0);
+    c.bench_function("propagate_orbit", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 1.0;
+            propagate(
+                black_box(&orbit),
+                orbit.epoch() + Duration::from_seconds(t),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frame_render,
+    bench_tiling_and_resize,
+    bench_features_and_inference,
+    bench_kmeans,
+    bench_propagation
+);
+criterion_main!(benches);

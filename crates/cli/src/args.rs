@@ -1,0 +1,142 @@
+//! Flag parsing for the `kodan` CLI. Hand-rolled on purpose: the
+//! sanctioned dependency set has no argument parser, and the surface is
+//! five flags.
+
+use kodan_hw::HwTarget;
+use kodan_ml::ModelArch;
+
+/// Parsed command-line options with defaults applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Application number 1-7 (Table 1).
+    pub app: ModelArch,
+    /// Deployment target.
+    pub target: HwTarget,
+    /// Master seed.
+    pub seed: u64,
+    /// Representative-dataset frame count.
+    pub frames: usize,
+    /// Context count for automatic generation.
+    pub contexts: usize,
+    /// Use expert (surface-type) contexts instead of k-means.
+    pub expert: bool,
+    /// Constellation size for environment derivation.
+    pub sats: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            app: ModelArch::ResNet50DilatedPpm,
+            target: HwTarget::OrinAgx15W,
+            seed: 42,
+            frames: 32,
+            contexts: 6,
+            expert: false,
+            sats: 1,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--flag value` pairs (and the bare `--expert` switch).
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut options = Options::default();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--expert" => options.expert = true,
+                "--app" => {
+                    let v: usize = next_value(&mut iter, flag)?;
+                    options.app = *ModelArch::ALL
+                        .get(v.wrapping_sub(1))
+                        .ok_or_else(|| format!("--app must be 1..=7, got {v}"))?;
+                }
+                "--target" => {
+                    let v: String = next_value(&mut iter, flag)?;
+                    options.target = match v.to_lowercase().as_str() {
+                        "orin" | "orin15w" => HwTarget::OrinAgx15W,
+                        "i7" | "i7-7800" | "cpu" => HwTarget::CoreI7_7800X,
+                        "1070ti" | "gtx1070ti" | "gpu" => HwTarget::Gtx1070Ti,
+                        other => return Err(format!("unknown target `{other}`")),
+                    };
+                }
+                "--seed" => options.seed = next_value(&mut iter, flag)?,
+                "--frames" => options.frames = next_value(&mut iter, flag)?,
+                "--contexts" => options.contexts = next_value(&mut iter, flag)?,
+                "--sats" => options.sats = next_value(&mut iter, flag)?,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if options.frames == 0 {
+            return Err("--frames must be positive".to_string());
+        }
+        if options.contexts == 0 {
+            return Err("--contexts must be positive".to_string());
+        }
+        if options.sats == 0 {
+            return Err("--sats must be positive".to_string());
+        }
+        Ok(options)
+    }
+}
+
+fn next_value<T: std::str::FromStr>(
+    iter: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = iter
+        .next()
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    raw.parse()
+        .map_err(|_| format!("invalid value `{raw}` for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let o = parse(&[
+            "--app", "7", "--target", "gpu", "--seed", "9", "--frames", "16",
+            "--contexts", "4", "--expert", "--sats", "8",
+        ])
+        .unwrap();
+        assert_eq!(o.app, ModelArch::ResNet101DilatedPpm);
+        assert_eq!(o.target, HwTarget::Gtx1070Ti);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.frames, 16);
+        assert_eq!(o.contexts, 4);
+        assert!(o.expert);
+        assert_eq!(o.sats, 8);
+    }
+
+    #[test]
+    fn target_aliases() {
+        assert_eq!(parse(&["--target", "orin"]).unwrap().target, HwTarget::OrinAgx15W);
+        assert_eq!(parse(&["--target", "i7"]).unwrap().target, HwTarget::CoreI7_7800X);
+        assert_eq!(parse(&["--target", "1070ti"]).unwrap().target, HwTarget::Gtx1070Ti);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--app", "0"]).is_err());
+        assert!(parse(&["--app", "8"]).is_err());
+        assert!(parse(&["--target", "tpu"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--frames", "0"]).is_err());
+        assert!(parse(&["--bogus", "1"]).is_err());
+    }
+}

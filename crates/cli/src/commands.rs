@@ -1,0 +1,245 @@
+//! The `kodan` CLI subcommands.
+
+use crate::args::Options;
+use kodan::config::ContextGenerationKind;
+use kodan::coverage::coverage_comparison;
+use kodan::mission::{Mission, MissionParams, SpaceEnvironment, SystemKind};
+use kodan::pipeline::{Transformation, TransformationArtifacts};
+use kodan::runtime::Runtime;
+use kodan::selection::SelectionLogic;
+use kodan::KodanConfig;
+use kodan_geodata::{Dataset, DatasetConfig, World};
+
+/// Usage text shown by `kodan help` and on argument errors.
+pub const USAGE: &str = "\
+kodan — orbital edge computing under the computational bottleneck
+
+USAGE:
+  kodan <command> [flags]
+
+COMMANDS:
+  dataset     summarize the procedural representative dataset
+  contexts    generate and describe geospatial contexts
+  transform   run the one-time transformation for an application
+  select      derive the selection logic for a hardware target
+  mission     fly a simulated day: bent pipe vs direct deploy vs kodan
+  coverage    constellation sizing for full ground-track coverage
+  help        show this text
+
+FLAGS:
+  --app N        application 1..7 (Table 1 architectures)   [4]
+  --target T     orin | i7 | 1070ti                         [orin]
+  --seed N       master seed                                [42]
+  --frames N     representative-dataset frames              [32]
+  --contexts K   automatic context count                    [6]
+  --expert       expert (surface-type) contexts
+  --sats N       constellation size for the environment     [1]";
+
+fn build_dataset(options: &Options) -> (World, Dataset) {
+    let world = World::new(options.seed);
+    let mut cfg = DatasetConfig::evaluation(options.seed);
+    cfg.frame_count = options.frames;
+    let dataset = Dataset::sample(&world, &cfg);
+    (world, dataset)
+}
+
+fn build_config(options: &Options) -> KodanConfig {
+    let mut config = KodanConfig::evaluation(options.seed);
+    config.context_count = options.contexts;
+    config.max_train_pixels = 8_000;
+    config.max_eval_tiles = 240;
+    config.train.epochs = 40;
+    if options.expert {
+        config.generation = ContextGenerationKind::Expert;
+    }
+    config
+}
+
+fn build_artifacts(options: &Options) -> (World, TransformationArtifacts) {
+    let (world, dataset) = build_dataset(options);
+    let artifacts = Transformation::new(build_config(options)).run(&dataset, options.app);
+    (world, artifacts)
+}
+
+/// `kodan dataset`
+pub fn dataset(options: &Options) -> Result<(), String> {
+    let (_, dataset) = build_dataset(options);
+    let stats = kodan_geodata::stats::DatasetStats::compute(&dataset, 6);
+    print!("{stats}");
+    Ok(())
+}
+
+/// `kodan contexts`
+pub fn contexts(options: &Options) -> Result<(), String> {
+    let (_, dataset) = build_dataset(options);
+    let tiles = dataset.tiles(6);
+    let set = if options.expert {
+        kodan::ContextSet::generate_expert(&tiles)
+    } else {
+        kodan::ContextSet::generate_auto(
+            &tiles,
+            options.contexts.min(tiles.len()),
+            kodan_ml::DistanceMetric::Euclidean,
+            kodan_ml::transform::TransformKind::Standardize,
+            options.seed,
+        )
+    };
+    println!(
+        "{} contexts over {} tiles ({} generation):",
+        set.len(),
+        tiles.len(),
+        if options.expert { "expert" } else { "k-means" }
+    );
+    for ctx in set.contexts() {
+        println!(
+            "  {}  {:>5} tiles ({:>5.1}%)  {:>5.1}% high-value  dominant: {}",
+            ctx.id,
+            ctx.tile_count,
+            ctx.weight * 100.0,
+            ctx.high_value_fraction * 100.0,
+            ctx.description
+        );
+    }
+    Ok(())
+}
+
+/// `kodan transform`
+pub fn transform(options: &Options) -> Result<(), String> {
+    let (_, artifacts) = build_artifacts(options);
+    println!(
+        "transformed {} with {} contexts (engine agreement {:.2})",
+        options.app,
+        artifacts.contexts.len(),
+        artifacts.engine_val_agreement
+    );
+    println!("per-grid validation statistics (global model):");
+    println!("  tiles/frame   accuracy   precision");
+    for ga in &artifacts.grids {
+        println!(
+            "  {:>11} {:>10.3} {:>11.3}",
+            ga.grid * ga.grid,
+            ga.global_eval_all.accuracy(),
+            ga.global_eval_all.precision()
+        );
+    }
+    println!("context-specialized composite at 36 tiles/frame:");
+    let ga = artifacts.grid_artifacts(6);
+    println!(
+        "  accuracy {:.3} -> {:.3}, precision {:.3} -> {:.3}",
+        ga.global_eval_all.accuracy(),
+        ga.composite_eval_all.accuracy(),
+        ga.global_eval_all.precision(),
+        ga.composite_eval_all.precision()
+    );
+    Ok(())
+}
+
+/// `kodan select`
+pub fn select(options: &Options) -> Result<(), String> {
+    let (_, artifacts) = build_artifacts(options);
+    let env = SpaceEnvironment::landsat(options.sats);
+    let logic = artifacts.select_with_capacity(
+        options.target,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    println!(
+        "selection logic for {} on {} ({} satellites):",
+        options.app, options.target, options.sats
+    );
+    println!(
+        "  tiles/frame: {} | deadline {:.1} s | capacity {:.1}% of observations",
+        logic.tiles_per_frame(),
+        env.frame_deadline.as_seconds(),
+        env.capacity_fraction * 100.0
+    );
+    for (c, action) in logic.actions().iter().enumerate() {
+        let ctx = artifacts.contexts.context(kodan::ContextId(c));
+        println!(
+            "  C{c} ({:>9}, {:>5.1}% hv): {action}",
+            ctx.description,
+            ctx.high_value_fraction * 100.0
+        );
+    }
+    let e = logic.estimate();
+    println!(
+        "  estimate: frame {:.1} s, processed {:.0}%, dvd {:.3}",
+        e.frame_time.as_seconds(),
+        e.processed_fraction * 100.0,
+        e.dvd
+    );
+    Ok(())
+}
+
+/// `kodan mission`
+pub fn mission(options: &Options) -> Result<(), String> {
+    let (world, artifacts) = build_artifacts(options);
+    let env = SpaceEnvironment::landsat(options.sats);
+    let mission = Mission::new(&env, &world, MissionParams::default());
+
+    let bent = mission.run_bent_pipe();
+    let direct_logic = SelectionLogic::direct_deploy(
+        &artifacts,
+        options.target,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let direct = mission.run_with_runtime(
+        &Runtime::new(direct_logic, artifacts.engine.clone()),
+        SystemKind::DirectDeploy,
+    );
+    let kodan_logic = artifacts.select_with_capacity(
+        options.target,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let kodan = mission.run_with_runtime(
+        &Runtime::new(kodan_logic, artifacts.engine.clone()),
+        SystemKind::Kodan,
+    );
+
+    println!(
+        "day-scale mission: {} on {} ({} satellites)",
+        options.app, options.target, options.sats
+    );
+    println!("  system          dvd   frame-s   processed   HV-yield");
+    for r in [&bent, &direct, &kodan] {
+        println!(
+            "  {:<13} {:>5.3} {:>9.1} {:>10.0}% {:>9.1}%",
+            r.system.to_string(),
+            r.dvd,
+            r.mean_frame_time.as_seconds(),
+            r.processed_fraction * 100.0,
+            r.observed_hv_downlinked * 100.0
+        );
+    }
+    println!(
+        "  kodan improves DVD {:+.0}% over the bent pipe",
+        (kodan.dvd / bent.dvd - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+/// `kodan coverage`
+pub fn coverage(options: &Options) -> Result<(), String> {
+    let (_, artifacts) = build_artifacts(options);
+    let env = SpaceEnvironment::landsat(1);
+    let cmp = coverage_comparison(
+        &artifacts,
+        options.target,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    println!(
+        "satellites for full ground-track coverage ({} on {}):",
+        options.app, options.target
+    );
+    println!("  direct deploy:        {}", cmp.direct_deploy);
+    println!("  max-precision tiling: {}", cmp.max_precision_tiling);
+    println!("  kodan:                {}", cmp.kodan);
+    println!(
+        "  reduction vs direct:  {:.1}x",
+        cmp.reduction_vs_direct()
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! `kodan` — command-line driver for the Kodan reproduction.
+//!
+//! ```text
+//! kodan dataset   [--seed N] [--frames N]
+//! kodan contexts  [--seed N] [--frames N] [--contexts K] [--expert]
+//! kodan transform [--app 1..7] [--seed N] [--frames N]
+//! kodan select    [--app 1..7] [--target orin|i7|1070ti] [--sats N]
+//! kodan mission   [--app 1..7] [--target orin|i7|1070ti] [--sats N]
+//! kodan coverage  [--app 1..7] [--target orin|i7|1070ti]
+//! ```
+//!
+//! Every subcommand is deterministic for a given `--seed`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let options = match args::Options::parse(rest) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "dataset" => commands::dataset(&options),
+        "contexts" => commands::contexts(&options),
+        "transform" => commands::transform(&options),
+        "select" => commands::select(&options),
+        "mission" => commands::mission(&options),
+        "coverage" => commands::coverage(&options),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Configuration for the Kodan transformation pipeline.
+
+use kodan_ml::metrics::DistanceMetric;
+use kodan_ml::train::TrainConfig;
+use kodan_ml::transform::TransformKind;
+use serde::{Deserialize, Serialize};
+
+/// How contexts are generated during the transformation step (paper
+/// Section 3.2 presents both approaches; the cluster-count sweep is the
+/// "joint generation" hyperparameter exploration of Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContextGenerationKind {
+    /// k-means over label vectors with a fixed cluster count
+    /// (`KodanConfig::context_count`).
+    Auto,
+    /// One context per dominant surface type, as a subject-matter expert
+    /// would partition the data.
+    Expert,
+    /// k-means with the cluster count chosen by silhouette score over
+    /// `2..=max_contexts`.
+    AutoSweep {
+        /// Upper bound of the swept cluster counts.
+        max_contexts: usize,
+    },
+}
+
+/// Configuration of the one-time transformation step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KodanConfig {
+    /// Master seed for clustering, training and sampling.
+    pub seed: u64,
+    /// Tile-grid dimensions to sweep (tiles per frame = grid^2). The
+    /// paper sweeps 121/36/16/9 tiles, i.e. grids 11/6/4/3.
+    pub tile_grids: [usize; 4],
+    /// Context generation strategy.
+    pub generation: ContextGenerationKind,
+    /// Number of automatically-generated contexts (k-means k); used by
+    /// [`ContextGenerationKind::Auto`].
+    pub context_count: usize,
+    /// Distance metric for label-vector clustering.
+    pub metric: DistanceMetric,
+    /// Label-vector transformation applied before clustering.
+    pub transform: TransformKind,
+    /// Training hyperparameters for all models.
+    pub train: TrainConfig,
+    /// Maximum pixels sampled for training one model.
+    pub max_train_pixels: usize,
+    /// Maximum tiles used when evaluating one (model, grid) pair.
+    pub max_eval_tiles: usize,
+    /// Fraction of the dataset's frames used for training (the rest
+    /// validates).
+    pub train_fraction: f64,
+    /// Apply training-time data augmentation (dihedral flips and
+    /// radiometric jitter), as in the paper's methodology section.
+    pub augment: bool,
+}
+
+impl KodanConfig {
+    /// The configuration used for paper-scale evaluation runs.
+    pub fn evaluation(seed: u64) -> KodanConfig {
+        KodanConfig {
+            seed,
+            tile_grids: [3, 4, 6, 11],
+            generation: ContextGenerationKind::Auto,
+            context_count: 6,
+            metric: DistanceMetric::Euclidean,
+            transform: TransformKind::Standardize,
+            train: TrainConfig::evaluation(seed),
+            max_train_pixels: 12_000,
+            max_eval_tiles: 360,
+            train_fraction: 0.7,
+            augment: true,
+        }
+    }
+
+    /// A small configuration for unit tests: fewer contexts, fewer
+    /// training pixels, fewer epochs. Grids still cover the paper's
+    /// range so code paths are exercised.
+    pub fn fast(seed: u64) -> KodanConfig {
+        KodanConfig {
+            seed,
+            tile_grids: [3, 4, 6, 11],
+            generation: ContextGenerationKind::Auto,
+            context_count: 3,
+            metric: DistanceMetric::Euclidean,
+            transform: TransformKind::Standardize,
+            train: TrainConfig::fast(seed),
+            max_train_pixels: 1_500,
+            max_eval_tiles: 48,
+            train_fraction: 0.7,
+            augment: false,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero grids/contexts/budgets or a degenerate split.
+    pub fn validate(&self) {
+        assert!(
+            self.tile_grids.iter().all(|&g| g > 0),
+            "tile grids must be positive"
+        );
+        assert!(self.context_count > 0, "need at least one context");
+        if let ContextGenerationKind::AutoSweep { max_contexts } = self.generation {
+            assert!(max_contexts >= 2, "context sweep needs at least k = 2");
+        }
+        assert!(self.max_train_pixels > 0, "need a training budget");
+        assert!(self.max_eval_tiles > 0, "need an evaluation budget");
+        assert!(
+            self.train_fraction > 0.0 && self.train_fraction < 1.0,
+            "train fraction must be in (0, 1)"
+        );
+        self.train.validate();
+    }
+}
+
+impl Default for KodanConfig {
+    fn default() -> Self {
+        KodanConfig::evaluation(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        KodanConfig::evaluation(1).validate();
+        KodanConfig::fast(1).validate();
+        KodanConfig::default().validate();
+    }
+
+    #[test]
+    fn evaluation_sweeps_paper_tile_counts() {
+        let c = KodanConfig::evaluation(0);
+        let tiles: Vec<usize> = c.tile_grids.iter().map(|g| g * g).collect();
+        assert_eq!(tiles, vec![9, 16, 36, 121]);
+    }
+
+    #[test]
+    #[should_panic(expected = "context")]
+    fn rejects_zero_contexts() {
+        let mut c = KodanConfig::fast(0);
+        c.context_count = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,66 @@
+//! # kodan
+//!
+//! A reproduction of **Kodan** (Denby et al., ASPLOS '23): an orbital edge
+//! computing system that maximizes the *data value density* (DVD) of a
+//! saturated satellite downlink while mitigating the computational
+//! bottleneck of space-grade hardware.
+//!
+//! Kodan adjusts a geospatial analysis application to each deployment
+//! target with three techniques:
+//!
+//! 1. **Context-specialized models** ([`context`], [`specialize`]) —
+//!    cluster the representative dataset into geospatial contexts and
+//!    train smaller, more precise models per context.
+//! 2. **Frame tiling** ([`tiling`]) — sweep tiles-per-frame to trade
+//!    decimation error against per-frame execution time.
+//! 3. **Context-based elision** ([`elide`]) — downlink tiles from
+//!    overwhelmingly high-value contexts and discard tiles from
+//!    overwhelmingly low-value ones without running inference.
+//!
+//! A one-time transformation step ([`pipeline`]) combines these into a
+//! **selection logic** ([`selection`]) for a specific hardware target;
+//! the on-orbit runtime ([`runtime`]) executes it per tile, and
+//! [`mission`] simulates full day-scale deployments against the `cote`
+//! space-segment model to measure DVD ([`dvd`]) and constellation sizing
+//! ([`coverage`]).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use kodan::config::KodanConfig;
+//! use kodan::pipeline::Transformation;
+//! use kodan_geodata::{Dataset, DatasetConfig, World};
+//! use kodan_hw::HwTarget;
+//! use kodan_ml::ModelArch;
+//!
+//! let world = World::new(42);
+//! let dataset = Dataset::sample(&world, &DatasetConfig::small(1));
+//! let config = KodanConfig::fast(7);
+//! let artifacts = Transformation::new(config)
+//!     .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+//! let logic = artifacts.select_for_target(
+//!     HwTarget::OrinAgx15W,
+//!     kodan_cote::time::Duration::from_seconds(22.0),
+//! );
+//! println!("selected {} tiles/frame", logic.tiles_per_frame());
+//! ```
+
+pub mod config;
+pub mod context;
+pub mod coverage;
+pub mod dvd;
+pub mod elide;
+pub mod engine;
+pub mod mission;
+pub mod pipeline;
+pub mod queue;
+pub mod runtime;
+pub mod selection;
+pub mod specialize;
+pub mod tiling;
+
+pub use config::KodanConfig;
+pub use context::{Context, ContextId, ContextSet};
+pub use engine::ContextEngine;
+pub use pipeline::{Transformation, TransformationArtifacts};
+pub use selection::SelectionLogic;

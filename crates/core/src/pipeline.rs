@@ -1,0 +1,550 @@
+//! The one-time transformation step (paper Figure 7, left).
+//!
+//! Before deployment, Kodan takes a reference application (here: a cloud
+//! filter at one of the Table 1 architectures) and a representative
+//! dataset, and produces everything the satellite will carry:
+//!
+//! 1. a partition of the dataset into geospatial **contexts**,
+//! 2. a **context engine** that classifies observed tiles into contexts,
+//! 3. **specialized models** (plus the global reference model) trained
+//!    and validated per tile grid,
+//! 4. per-grid, per-context **validation statistics** from which the
+//!    [`crate::selection::SelectionLogic`] for any hardware target can
+//!    be derived.
+//!
+//! The artifacts are target-independent; deriving a selection logic for a
+//! target is cheap and can be repeated for every platform (the paper
+//! deploys the same seven applications to three targets).
+
+use crate::config::{ContextGenerationKind, KodanConfig};
+use crate::context::ContextSet;
+use crate::engine::ContextEngine;
+use crate::selection::{SelectionLogic, DEFAULT_CAPACITY_FRACTION};
+use crate::specialize::SpecializedModel;
+use kodan_cote::time::Duration;
+use kodan_geodata::dataset::Dataset;
+use kodan_geodata::tile::TileImage;
+use kodan_hw::targets::HwTarget;
+use kodan_ml::eval::ConfusionMatrix;
+use kodan_ml::zoo::ModelArch;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Minimum training tiles required to specialize a model to a context;
+/// below this the context falls back to the global model.
+const MIN_CONTEXT_TILES: usize = 5;
+
+/// Per-tile-grid artifacts: models and validation statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridArtifacts {
+    /// Grid dimension (tiles per frame = `grid * grid`).
+    pub grid: usize,
+    /// The full-capacity reference model trained at this grid.
+    pub global_model: SpecializedModel,
+    /// Per-context specialized models (None when the context had too few
+    /// training tiles).
+    pub context_models: Vec<Option<SpecializedModel>>,
+    /// Validation confusion of the global model restricted to each
+    /// engine-assigned context.
+    pub global_eval_per_context: Vec<ConfusionMatrix>,
+    /// Validation confusion of each context model on its own
+    /// engine-assigned tiles.
+    pub context_model_eval: Vec<Option<ConfusionMatrix>>,
+    /// Fraction of validation tiles the engine assigns to each context.
+    pub context_weights: Vec<f64>,
+    /// Mean high-value pixel fraction of each context's validation tiles.
+    pub context_hv: Vec<f64>,
+    /// Multi-context ("merged") specialized models, paired by value
+    /// profile (paper Section 3.3 considers single- and multi-context
+    /// specializations in the selection logic).
+    pub merged_models: Vec<SpecializedModel>,
+    /// `merged_eval[m][c]`: validation confusion of merged model `m` on
+    /// context `c`'s engine-assigned tiles (None where not covered or no
+    /// tiles).
+    pub merged_eval: Vec<Vec<Option<ConfusionMatrix>>>,
+    /// Validation confusion of the global model over all tiles (the
+    /// direct-deploy statistic, and Figure 13's tiling data).
+    pub global_eval_all: ConfusionMatrix,
+    /// Validation confusion of the context-specialized composite: each
+    /// tile routed by the engine to its context model (global fallback).
+    /// This is Figure 12's "geospatial contexts" statistic.
+    pub composite_eval_all: ConfusionMatrix,
+}
+
+/// Everything the transformation step produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformationArtifacts {
+    /// The configuration that produced these artifacts.
+    pub config: KodanConfig,
+    /// The reference application's architecture.
+    pub arch: ModelArch,
+    /// The context partition.
+    pub contexts: ContextSet,
+    /// The deployed context engine.
+    pub engine: ContextEngine,
+    /// Engine agreement with the truth partition on validation tiles.
+    pub engine_val_agreement: f64,
+    /// Per-grid artifacts, in the order of `config.tile_grids`.
+    pub grids: Vec<GridArtifacts>,
+}
+
+impl TransformationArtifacts {
+    /// Derives the selection logic for a hardware target using the
+    /// default Landsat-like downlink capacity fraction.
+    pub fn select_for_target(&self, target: HwTarget, deadline: Duration) -> SelectionLogic {
+        SelectionLogic::build(self, target, deadline, DEFAULT_CAPACITY_FRACTION)
+    }
+
+    /// Derives the selection logic with an explicit capacity fraction
+    /// (downlink capacity / observed data volume).
+    pub fn select_with_capacity(
+        &self,
+        target: HwTarget,
+        deadline: Duration,
+        capacity_fraction: f64,
+    ) -> SelectionLogic {
+        SelectionLogic::build(self, target, deadline, capacity_fraction)
+    }
+
+    /// The artifacts for a specific grid dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid was not part of the sweep.
+    pub fn grid_artifacts(&self, grid: usize) -> &GridArtifacts {
+        self.grids
+            .iter()
+            .find(|g| g.grid == grid)
+            .unwrap_or_else(|| panic!("grid {grid} was not swept"))
+    }
+}
+
+/// The transformation step runner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transformation {
+    config: KodanConfig,
+}
+
+impl Transformation {
+    /// Creates a transformation with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: KodanConfig) -> Transformation {
+        config.validate();
+        Transformation { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &KodanConfig {
+        &self.config
+    }
+
+    /// Runs the one-time transformation for a reference application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's frames are not divisible by every swept
+    /// tile grid.
+    pub fn run(&self, dataset: &Dataset, arch: ModelArch) -> TransformationArtifacts {
+        let config = &self.config;
+        let (train, val) = dataset.split(config.train_fraction, config.seed);
+
+        // Contexts and engine are generated at the grid closest to the
+        // paper's 36-tiles-per-frame working point.
+        let context_grid = *config
+            .tile_grids
+            .iter()
+            .min_by_key(|&&g| (g as i64 - 6).unsigned_abs())
+            .expect("config has grids");
+        let context_train_tiles = train.tiles(context_grid);
+        let contexts = match config.generation {
+            ContextGenerationKind::Auto => ContextSet::generate_auto(
+                &context_train_tiles,
+                config.context_count.min(context_train_tiles.len()),
+                config.metric,
+                config.transform,
+                config.seed,
+            ),
+            ContextGenerationKind::Expert => {
+                ContextSet::generate_expert(&context_train_tiles)
+            }
+            ContextGenerationKind::AutoSweep { max_contexts } => {
+                let k = sweep_cluster_count(
+                    &context_train_tiles,
+                    max_contexts,
+                    config.metric,
+                    config.transform,
+                    config.seed,
+                );
+                ContextSet::generate_auto(
+                    &context_train_tiles,
+                    k,
+                    config.metric,
+                    config.transform,
+                    config.seed,
+                )
+            }
+        };
+        let engine = ContextEngine::train(&context_train_tiles, &contexts);
+        let context_val_tiles = val.tiles(context_grid);
+        let engine_val_agreement = engine.agreement_on(&context_val_tiles, &contexts);
+
+        let grids = config
+            .tile_grids
+            .iter()
+            .enumerate()
+            .map(|(i, &grid)| {
+                self.build_grid_artifacts(
+                    &train,
+                    &val,
+                    grid,
+                    arch,
+                    &contexts,
+                    &engine,
+                    config.seed.wrapping_add(i as u64 * 101),
+                )
+            })
+            .collect();
+
+        TransformationArtifacts {
+            config: *config,
+            arch,
+            contexts,
+            engine,
+            engine_val_agreement,
+            grids,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_grid_artifacts(
+        &self,
+        train: &Dataset,
+        val: &Dataset,
+        grid: usize,
+        arch: ModelArch,
+        contexts: &ContextSet,
+        engine: &ContextEngine,
+        seed: u64,
+    ) -> GridArtifacts {
+        let config = &self.config;
+        let k = contexts.len();
+        let mut train_tiles = train.tiles(grid);
+        if config.augment {
+            // Paper Section 4: augmentation improves accuracy and avoids
+            // over-fitting. Variants join the pool before model training.
+            let extra = kodan_geodata::augment::augment_tiles(&train_tiles, seed);
+            train_tiles.extend(extra);
+        }
+        let val_tiles = sample_tiles(val.tiles(grid), config.max_eval_tiles, seed);
+
+        let mut train_cfg = config.train;
+        train_cfg.seed = seed;
+        let global_model =
+            SpecializedModel::train_global(&train_tiles, arch, config.max_train_pixels, &train_cfg);
+
+        // Specialized models are trained on *engine-assigned* tile
+        // subsets: the runtime routes tiles by the deployed engine, so
+        // each specialized model should be trained on exactly the
+        // distribution the engine will hand it (including the engine's
+        // systematic confusions).
+        let mut engine_subsets: Vec<Vec<TileImage>> = vec![Vec::new(); k];
+        for t in &train_tiles {
+            engine_subsets[engine.classify(t).0].push(t.clone());
+        }
+        let mut context_models: Vec<Option<SpecializedModel>> = Vec::with_capacity(k);
+        for (c, subset) in engine_subsets.iter().enumerate() {
+            if subset.len() >= MIN_CONTEXT_TILES {
+                let mut cfg = train_cfg;
+                cfg.seed = seed.wrapping_add(c as u64 + 1);
+                context_models.push(Some(SpecializedModel::train_for_context(
+                    subset,
+                    arch,
+                    crate::context::ContextId(c),
+                    config.max_train_pixels,
+                    &cfg,
+                )));
+            } else {
+                context_models.push(None);
+            }
+        }
+
+        // Multi-context models: pair contexts with adjacent value
+        // profiles and specialize across each pair.
+        let mut merged_models: Vec<SpecializedModel> = Vec::new();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| {
+            let ha = contexts.context(crate::context::ContextId(a)).high_value_fraction;
+            let hb = contexts.context(crate::context::ContextId(b)).high_value_fraction;
+            ha.partial_cmp(&hb).expect("fractions are finite")
+        });
+        for pair in order.chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let mut union: Vec<TileImage> = engine_subsets[a].clone();
+            union.extend(engine_subsets[b].iter().cloned());
+            if union.len() >= MIN_CONTEXT_TILES {
+                let mut cfg = train_cfg;
+                cfg.seed = seed.wrapping_add(1000 + a as u64 * 31 + b as u64);
+                merged_models.push(SpecializedModel::train_for_contexts(
+                    &union,
+                    arch,
+                    vec![
+                        crate::context::ContextId(a),
+                        crate::context::ContextId(b),
+                    ],
+                    config.max_train_pixels,
+                    &cfg,
+                ));
+            }
+        }
+
+        // Validation statistics are gathered under *engine* assignment,
+        // matching what the runtime will experience.
+        let mut groups: Vec<Vec<&TileImage>> = vec![Vec::new(); k];
+        for t in &val_tiles {
+            groups[engine.classify(t).0].push(t);
+        }
+        let total_val = val_tiles.len().max(1) as f64;
+
+        let mut global_eval_per_context = Vec::with_capacity(k);
+        let mut context_model_eval = Vec::with_capacity(k);
+        let mut context_weights = Vec::with_capacity(k);
+        let mut context_hv = Vec::with_capacity(k);
+        let mut global_eval_all = ConfusionMatrix::new();
+        let mut composite_eval_all = ConfusionMatrix::new();
+
+        for c in 0..k {
+            let group = &groups[c];
+            context_weights.push(group.len() as f64 / total_val);
+            let hv = if group.is_empty() {
+                contexts.context(crate::context::ContextId(c)).high_value_fraction
+            } else {
+                group.iter().map(|t| t.high_value_fraction()).sum::<f64>() / group.len() as f64
+            };
+            context_hv.push(hv);
+
+            let global_cm = global_model.evaluate(group.iter().copied());
+            global_eval_all += global_cm;
+            global_eval_per_context.push(global_cm);
+
+            match &context_models[c] {
+                Some(model) if !group.is_empty() => {
+                    let cm = model.evaluate(group.iter().copied());
+                    composite_eval_all += cm;
+                    context_model_eval.push(Some(cm));
+                }
+                Some(_) => context_model_eval.push(None),
+                None => {
+                    composite_eval_all += global_cm;
+                    context_model_eval.push(None);
+                }
+            }
+        }
+
+        // Evaluate merged models on the contexts they cover.
+        let merged_eval: Vec<Vec<Option<ConfusionMatrix>>> = merged_models
+            .iter()
+            .map(|m| {
+                (0..k)
+                    .map(|c| {
+                        let covered = m.scope().covers(crate::context::ContextId(c));
+                        if covered && !groups[c].is_empty() {
+                            Some(m.evaluate(groups[c].iter().copied()))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        GridArtifacts {
+            grid,
+            global_model,
+            context_models,
+            merged_models,
+            merged_eval,
+            global_eval_per_context,
+            context_model_eval,
+            context_weights,
+            context_hv,
+            global_eval_all,
+            composite_eval_all,
+        }
+    }
+}
+
+/// Chooses a cluster count in `2..=max_contexts` by silhouette score
+/// over (a sample of) the training tiles' transformed label vectors —
+/// the cluster-count sweep of paper Section 3.2.
+fn sweep_cluster_count(
+    tiles: &[TileImage],
+    max_contexts: usize,
+    metric: kodan_ml::metrics::DistanceMetric,
+    transform: kodan_ml::transform::TransformKind,
+    seed: u64,
+) -> usize {
+    let labels: Vec<Vec<f64>> = tiles
+        .iter()
+        .take(400) // silhouette is O(n^2); a sample is plenty
+        .map(|t| t.label_vector().to_vec())
+        .collect();
+    let fitted = transform.fit(&labels);
+    let transformed = fitted.apply_all(&labels);
+    let mut best_k = 2;
+    let mut best_score = f64::NEG_INFINITY;
+    for k in 2..=max_contexts.min(transformed.len()) {
+        let km = kodan_ml::kmeans::KMeans::fit(&transformed, k, metric, seed);
+        let score = kodan_ml::kmeans::silhouette(&transformed, &km);
+        if score > best_score {
+            best_score = score;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// Deterministically samples up to `cap` tiles.
+fn sample_tiles(mut tiles: Vec<TileImage>, cap: usize, seed: u64) -> Vec<TileImage> {
+    if tiles.len() <= cap {
+        return tiles;
+    }
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xEA71);
+    for i in (1..tiles.len()).rev() {
+        let j = rng.random_range(0..=i);
+        tiles.swap(i, j);
+    }
+    tiles.truncate(cap);
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kodan_geodata::{DatasetConfig, World};
+
+    fn artifacts() -> TransformationArtifacts {
+        let world = World::new(42);
+        let mut ds_cfg = DatasetConfig::small(1);
+        ds_cfg.frame_count = 14;
+        ds_cfg.frame_px = 132;
+        let dataset = Dataset::sample(&world, &ds_cfg);
+        Transformation::new(KodanConfig::fast(7)).run(&dataset, ModelArch::ResNet50DilatedPpm)
+    }
+
+    #[test]
+    fn transformation_produces_all_grids() {
+        let a = artifacts();
+        assert_eq!(a.grids.len(), 4);
+        let grids: Vec<usize> = a.grids.iter().map(|g| g.grid).collect();
+        assert_eq!(grids, vec![3, 4, 6, 11]);
+        assert_eq!(a.contexts.len(), 3);
+    }
+
+    #[test]
+    fn per_grid_statistics_are_consistent() {
+        let a = artifacts();
+        for ga in &a.grids {
+            let weight_sum: f64 = ga.context_weights.iter().sum();
+            assert!((weight_sum - 1.0).abs() < 1e-9, "weights sum {weight_sum}");
+            assert_eq!(ga.context_models.len(), a.contexts.len());
+            assert_eq!(ga.global_eval_per_context.len(), a.contexts.len());
+            for hv in &ga.context_hv {
+                assert!((0.0..=1.0).contains(hv));
+            }
+            // Per-context evals sum to the overall eval.
+            let mut summed = ConfusionMatrix::new();
+            for cm in &ga.global_eval_per_context {
+                summed += *cm;
+            }
+            assert_eq!(summed, ga.global_eval_all);
+        }
+    }
+
+    #[test]
+    fn models_learn_something() {
+        let a = artifacts();
+        for ga in &a.grids {
+            assert!(
+                ga.global_eval_all.accuracy() > 0.6,
+                "grid {}: accuracy {}",
+                ga.grid,
+                ga.global_eval_all.accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn selection_logic_derivable_for_every_target() {
+        let a = artifacts();
+        for target in HwTarget::ALL {
+            let logic = a.select_for_target(target, Duration::from_seconds(22.0));
+            assert!(logic.tiles_per_frame() >= 9);
+            assert_eq!(logic.actions().len(), a.contexts.len());
+            assert!(logic.estimate().dvd > 0.0);
+        }
+    }
+
+    #[test]
+    fn constrained_target_picks_cheaper_configuration() {
+        let a = artifacts();
+        let deadline = Duration::from_seconds(22.0);
+        let orin = a.select_for_target(HwTarget::OrinAgx15W, deadline);
+        let gpu = a.select_for_target(HwTarget::Gtx1070Ti, deadline);
+        // The Orin must be at or below the GPU's frame time in relative
+        // terms: its selected configuration cannot be *more* aggressive
+        // than the GPU's in tile count when compute is the bottleneck.
+        assert!(
+            orin.tiles_per_frame() <= gpu.tiles_per_frame(),
+            "orin {} tiles vs gpu {} tiles",
+            orin.tiles_per_frame(),
+            gpu.tiles_per_frame()
+        );
+    }
+
+    #[test]
+    fn grid_artifacts_lookup_panics_for_unknown_grid() {
+        let a = artifacts();
+        assert_eq!(a.grid_artifacts(11).grid, 11);
+        let result = std::panic::catch_unwind(|| a.grid_artifacts(5));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn engine_agreement_is_reported() {
+        let a = artifacts();
+        assert!(a.engine_val_agreement > 0.4, "{}", a.engine_val_agreement);
+    }
+
+    #[test]
+    fn expert_generation_runs_end_to_end() {
+        let world = World::new(42);
+        let mut ds_cfg = DatasetConfig::small(1);
+        ds_cfg.frame_count = 10;
+        ds_cfg.frame_px = 132;
+        let dataset = Dataset::sample(&world, &ds_cfg);
+        let mut config = KodanConfig::fast(7);
+        config.generation = crate::config::ContextGenerationKind::Expert;
+        let a = Transformation::new(config).run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        assert!(a.contexts.expert_surface_map().is_some());
+        assert!(a.contexts.len() >= 2);
+        let logic = a.select_for_target(HwTarget::OrinAgx15W, Duration::from_seconds(22.0));
+        assert_eq!(logic.actions().len(), a.contexts.len());
+    }
+
+    #[test]
+    fn auto_sweep_selects_a_cluster_count_in_range() {
+        let world = World::new(42);
+        let mut ds_cfg = DatasetConfig::small(1);
+        ds_cfg.frame_count = 10;
+        ds_cfg.frame_px = 132;
+        let dataset = Dataset::sample(&world, &ds_cfg);
+        let mut config = KodanConfig::fast(7);
+        config.generation = crate::config::ContextGenerationKind::AutoSweep { max_contexts: 5 };
+        let a = Transformation::new(config).run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        assert!((2..=5).contains(&a.contexts.len()), "k = {}", a.contexts.len());
+    }
+}

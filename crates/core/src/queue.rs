@@ -1,0 +1,311 @@
+//! The on-board downlink queue (paper Figure 7: "Downlink Queue").
+//!
+//! Filtered tiles wait in bounded on-board storage until the next ground
+//! contact. The queue is value-aware: entries drain highest
+//! value-density first, and when storage fills, the lowest-density
+//! entries are evicted — so a saturated downlink and finite storage both
+//! preferentially preserve high-value data.
+//!
+//! [`drain_over_passes`] replays a queue against the contention-resolved
+//! passes from `kodan-cote`, giving a pass-by-pass account of what
+//! reaches the ground (the fine-grained counterpart of the aggregate
+//! capacity model in [`crate::mission`]).
+
+use kodan_cote::sim::ServedPass;
+use serde::{Deserialize, Serialize};
+
+/// One queued downlink entry (typically: the kept pixels of one tile).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueEntry {
+    /// Size of the entry, bits.
+    pub bits: f64,
+    /// High-value content of the entry, bits.
+    pub value_bits: f64,
+}
+
+impl QueueEntry {
+    /// Creates an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are negative or value exceeds size.
+    pub fn new(bits: f64, value_bits: f64) -> QueueEntry {
+        assert!(bits >= 0.0 && value_bits >= 0.0, "sizes must be non-negative");
+        assert!(value_bits <= bits + 1e-9, "value cannot exceed size");
+        QueueEntry { bits, value_bits }
+    }
+
+    /// Value density of the entry in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.bits <= 0.0 {
+            0.0
+        } else {
+            self.value_bits / self.bits
+        }
+    }
+}
+
+/// Result of draining a queue through one or more passes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DrainReport {
+    /// Bits transmitted.
+    pub sent_bits: f64,
+    /// High-value bits transmitted.
+    pub sent_value_bits: f64,
+    /// Entries fully transmitted.
+    pub entries_sent: usize,
+}
+
+/// A bounded, value-aware downlink queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DownlinkQueue {
+    storage_bits: f64,
+    entries: Vec<QueueEntry>,
+    occupied_bits: f64,
+    /// Bits dropped because storage was full.
+    dropped_bits: f64,
+    /// High-value bits dropped because storage was full.
+    dropped_value_bits: f64,
+}
+
+impl DownlinkQueue {
+    /// Creates a queue with the given storage bound (bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound is not positive.
+    pub fn new(storage_bits: f64) -> DownlinkQueue {
+        assert!(storage_bits > 0.0, "storage must be positive");
+        DownlinkQueue {
+            storage_bits,
+            entries: Vec::new(),
+            occupied_bits: 0.0,
+            dropped_bits: 0.0,
+            dropped_value_bits: 0.0,
+        }
+    }
+
+    /// Current occupancy, bits.
+    pub fn occupied_bits(&self) -> f64 {
+        self.occupied_bits
+    }
+
+    /// Storage bound, bits.
+    pub fn storage_bits(&self) -> f64 {
+        self.storage_bits
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bits evicted so far due to storage pressure.
+    pub fn dropped_bits(&self) -> f64 {
+        self.dropped_bits
+    }
+
+    /// High-value bits evicted so far due to storage pressure.
+    pub fn dropped_value_bits(&self) -> f64 {
+        self.dropped_value_bits
+    }
+
+    /// Enqueues an entry, evicting the lowest-density entries if storage
+    /// overflows. The new entry itself is evicted if it is the least
+    /// dense.
+    pub fn push(&mut self, entry: QueueEntry) {
+        if entry.bits <= 0.0 {
+            return;
+        }
+        self.entries.push(entry);
+        self.occupied_bits += entry.bits;
+        if self.occupied_bits > self.storage_bits {
+            // Evict lowest-density first.
+            self.entries.sort_by(|a, b| {
+                a.density()
+                    .partial_cmp(&b.density())
+                    .expect("densities are finite")
+            });
+            while self.occupied_bits > self.storage_bits && !self.entries.is_empty() {
+                let victim = self.entries.remove(0);
+                self.occupied_bits -= victim.bits;
+                self.dropped_bits += victim.bits;
+                self.dropped_value_bits += victim.value_bits;
+            }
+        }
+    }
+
+    /// Drains up to `budget_bits` in highest-value-density order.
+    /// Entries are transmitted whole except possibly the last, which is
+    /// split (a tile can straddle two passes).
+    pub fn drain(&mut self, budget_bits: f64) -> DrainReport {
+        let mut report = DrainReport::default();
+        if budget_bits <= 0.0 {
+            return report;
+        }
+        // Highest density last for cheap pop.
+        self.entries.sort_by(|a, b| {
+            a.density()
+                .partial_cmp(&b.density())
+                .expect("densities are finite")
+        });
+        let mut remaining = budget_bits;
+        while remaining > 0.0 {
+            let Some(entry) = self.entries.pop() else {
+                break;
+            };
+            if entry.bits <= remaining {
+                remaining -= entry.bits;
+                self.occupied_bits -= entry.bits;
+                report.sent_bits += entry.bits;
+                report.sent_value_bits += entry.value_bits;
+                report.entries_sent += 1;
+            } else {
+                // Partial transmit: split the entry.
+                let fraction = remaining / entry.bits;
+                let sent = QueueEntry::new(remaining, entry.value_bits * fraction);
+                let leftover = QueueEntry::new(
+                    entry.bits - sent.bits,
+                    entry.value_bits - sent.value_bits,
+                );
+                self.entries.push(leftover);
+                self.occupied_bits -= sent.bits;
+                report.sent_bits += sent.bits;
+                report.sent_value_bits += sent.value_bits;
+                remaining = 0.0;
+            }
+        }
+        report
+    }
+}
+
+/// Replays a queue's contents through a sequence of contention-resolved
+/// ground passes, returning the aggregate drain report.
+pub fn drain_over_passes(queue: &mut DownlinkQueue, passes: &[ServedPass]) -> DrainReport {
+    let mut total = DrainReport::default();
+    for pass in passes {
+        let r = queue.drain(pass.bits());
+        total.sent_bits += r.sent_bits;
+        total.sent_value_bits += r.sent_value_bits;
+        total.entries_sent += r.entries_sent;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bits: f64, density: f64) -> QueueEntry {
+        QueueEntry::new(bits, bits * density)
+    }
+
+    #[test]
+    fn drains_highest_density_first() {
+        let mut q = DownlinkQueue::new(1000.0);
+        q.push(entry(100.0, 0.2));
+        q.push(entry(100.0, 0.9));
+        q.push(entry(100.0, 0.5));
+        let r = q.drain(100.0);
+        assert_eq!(r.entries_sent, 1);
+        assert!((r.sent_value_bits - 90.0).abs() < 1e-9);
+        // Next drain gets the 0.5-density entry.
+        let r2 = q.drain(100.0);
+        assert!((r2.sent_value_bits - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_transmit_splits_entries() {
+        let mut q = DownlinkQueue::new(1000.0);
+        q.push(entry(100.0, 0.8));
+        let r = q.drain(40.0);
+        assert_eq!(r.entries_sent, 0);
+        assert!((r.sent_bits - 40.0).abs() < 1e-9);
+        assert!((r.sent_value_bits - 32.0).abs() < 1e-9);
+        assert!((q.occupied_bits() - 60.0).abs() < 1e-9);
+        // The remainder keeps its density.
+        let r2 = q.drain(100.0);
+        assert!((r2.sent_value_bits - 48.0).abs() < 1e-9);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn storage_pressure_evicts_low_density() {
+        let mut q = DownlinkQueue::new(250.0);
+        q.push(entry(100.0, 0.9));
+        q.push(entry(100.0, 0.1));
+        q.push(entry(100.0, 0.8)); // overflows by 50
+        assert!(q.occupied_bits() <= 250.0);
+        assert!(q.dropped_bits() >= 50.0);
+        // The dropped data is the low-density entry.
+        assert!(q.dropped_value_bits() / q.dropped_bits() < 0.2);
+        // High-density entries survive.
+        let r = q.drain(1e9);
+        assert!(r.sent_value_bits / r.sent_bits > 0.5);
+    }
+
+    #[test]
+    fn conservation_of_bits() {
+        let mut q = DownlinkQueue::new(500.0);
+        let mut pushed = 0.0;
+        for i in 0..10 {
+            let e = entry(80.0, 0.1 * i as f64 / 10.0 + 0.3);
+            pushed += e.bits;
+            q.push(e);
+        }
+        let r = q.drain(1e9);
+        let accounted = r.sent_bits + q.dropped_bits() + q.occupied_bits();
+        assert!((accounted - pushed).abs() < 1e-6);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_and_empty_queue_are_safe() {
+        let mut q = DownlinkQueue::new(100.0);
+        assert_eq!(q.drain(0.0), DrainReport::default());
+        assert_eq!(q.drain(50.0), DrainReport::default());
+        q.push(QueueEntry::new(0.0, 0.0)); // no-op
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_over_real_passes() {
+        use kodan_cote::constellation::Constellation;
+        use kodan_cote::ground::GroundSegment;
+        use kodan_cote::orbit::Orbit;
+        use kodan_cote::sensor::Imager;
+        use kodan_cote::sim::simulate_space_segment;
+        use kodan_cote::time::Duration;
+
+        let report = simulate_space_segment(
+            &Constellation::single(Orbit::sun_synchronous(705_000.0)),
+            &Imager::landsat_oli(),
+            &GroundSegment::landsat(),
+            Duration::from_hours(6.0),
+        );
+        let mut q = DownlinkQueue::new(1e12);
+        for i in 0..1000 {
+            q.push(entry(1e8, 0.3 + 0.6 * (i % 7) as f64 / 7.0));
+        }
+        let drained = drain_over_passes(&mut q, &report.passes);
+        assert!(drained.sent_bits > 0.0);
+        assert!(drained.sent_bits <= report.capacity_bits + 1e-3);
+        // Value density of what went down exceeds the queue average
+        // (priority ordering).
+        if !q.is_empty() {
+            let avg_density = drained.sent_value_bits / drained.sent_bits;
+            assert!(avg_density > 0.5, "drained density {avg_density}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "value cannot exceed size")]
+    fn rejects_inconsistent_entry() {
+        let _ = QueueEntry::new(10.0, 20.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! The on-orbit runtime (paper Figure 7, right).
+//!
+//! For each captured frame the runtime tiles the image at the selected
+//! grid, classifies every tile into a context with the context engine,
+//! and executes the selection logic's action: discard, downlink raw, or
+//! run a specialized model and keep the pixels it labels high-value.
+//!
+//! Execution *time* is modeled (via `kodan-hw`'s Table 1 calibration —
+//! this machine is not a Jetson), but the data path is real: tiles are
+//! actually resized, featurized and classified, and the value accounting
+//! compares predictions against ground truth pixel by pixel.
+
+use crate::elide::Action;
+use crate::engine::EngineKind;
+use crate::selection::SelectionLogic;
+use kodan_cote::time::Duration;
+use kodan_geodata::frame::FrameImage;
+use kodan_geodata::tile::tile_frame;
+use kodan_hw::latency::LatencyModel;
+use serde::{Deserialize, Serialize};
+
+/// Result of processing one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FrameOutcome {
+    /// Modeled compute time spent on the frame.
+    pub compute: Duration,
+    /// Pixels enqueued for downlink.
+    pub sent_px: u64,
+    /// Of those, pixels that are genuinely high-value.
+    pub value_px: u64,
+    /// Total pixels observed in the frame.
+    pub observed_px: u64,
+    /// Of those, pixels that are genuinely high-value.
+    pub observed_value_px: u64,
+    /// Tiles elided (downlinked raw or discarded without inference).
+    pub tiles_elided: usize,
+    /// Tiles processed by a model.
+    pub tiles_processed: usize,
+}
+
+impl FrameOutcome {
+    /// Precision of what this frame contributed to the downlink queue.
+    pub fn precision(&self) -> f64 {
+        if self.sent_px == 0 {
+            0.0
+        } else {
+            self.value_px as f64 / self.sent_px as f64
+        }
+    }
+}
+
+/// The deployed Kodan runtime for one (application, target) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Runtime {
+    logic: SelectionLogic,
+    engine: EngineKind,
+    latency: LatencyModel,
+}
+
+impl Runtime {
+    /// Assembles a runtime from a selection logic and the context engine
+    /// it was built against (learned or expert map-based).
+    pub fn new(logic: SelectionLogic, engine: impl Into<EngineKind>) -> Runtime {
+        let latency = LatencyModel::new(logic.target());
+        Runtime {
+            logic,
+            engine: engine.into(),
+            latency,
+        }
+    }
+
+    /// The selection logic in force.
+    pub fn logic(&self) -> &SelectionLogic {
+        &self.logic
+    }
+
+    /// Processes one frame: tile, classify context, act.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame dimension is not divisible by the selected
+    /// grid.
+    pub fn process_frame(&self, frame: &FrameImage) -> FrameOutcome {
+        let tiles = tile_frame(frame, self.logic.grid());
+        let base_per_tile =
+            self.latency.context_engine_tile_time() + self.latency.resize_tile_time();
+
+        let mut outcome = FrameOutcome::default();
+        for tile in &tiles {
+            let px = (tile.size() * tile.size()) as u64;
+            let clear_px = ((1.0 - tile.cloud_fraction()) * px as f64).round() as u64;
+            outcome.observed_px += px;
+            outcome.observed_value_px += clear_px;
+            outcome.compute += base_per_tile;
+
+            let context = self.engine.classify(tile);
+            match self.logic.action_for(context) {
+                Action::Discard => {
+                    outcome.tiles_elided += 1;
+                }
+                Action::Downlink => {
+                    outcome.tiles_elided += 1;
+                    outcome.sent_px += px;
+                    outcome.value_px += clear_px;
+                }
+                Action::Process { model_index } => {
+                    outcome.tiles_processed += 1;
+                    let model = &self.logic.models()[model_index];
+                    outcome.compute += self
+                        .latency
+                        .specialized_tile_time(self.logic.arch(), model.ops_ratio());
+                    let pred = model.predict_tile(tile);
+                    for (p, &cloudy) in pred.iter().zip(tile.truth_cloudy()) {
+                        if *p {
+                            outcome.sent_px += 1;
+                            if !cloudy {
+                                outcome.value_px += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Processes a set of frames and returns the aggregate outcome plus
+    /// the mean per-frame compute time.
+    pub fn process_frames<'a, I>(&self, frames: I) -> (FrameOutcome, Duration)
+    where
+        I: IntoIterator<Item = &'a FrameImage>,
+    {
+        let mut total = FrameOutcome::default();
+        let mut count = 0usize;
+        for frame in frames {
+            let o = self.process_frame(frame);
+            total.compute += o.compute;
+            total.sent_px += o.sent_px;
+            total.value_px += o.value_px;
+            total.observed_px += o.observed_px;
+            total.observed_value_px += o.observed_value_px;
+            total.tiles_elided += o.tiles_elided;
+            total.tiles_processed += o.tiles_processed;
+            count += 1;
+        }
+        let mean = if count > 0 {
+            total.compute / count as f64
+        } else {
+            Duration::ZERO
+        };
+        (total, mean)
+    }
+}
+
+/// The bent-pipe "runtime": downlink everything, compute nothing.
+pub fn bent_pipe_frame(frame: &FrameImage) -> FrameOutcome {
+    let px = frame.pixel_count() as u64;
+    let value = ((1.0 - frame.cloud_fraction()) * px as f64).round() as u64;
+    FrameOutcome {
+        compute: Duration::ZERO,
+        sent_px: px,
+        value_px: value,
+        observed_px: px,
+        observed_value_px: value,
+        tiles_elided: 0,
+        tiles_processed: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KodanConfig;
+    use crate::pipeline::Transformation;
+    use kodan_geodata::{Dataset, DatasetConfig, World};
+    use kodan_hw::targets::HwTarget;
+    use kodan_ml::zoo::ModelArch;
+
+    fn runtime_and_frames() -> (Runtime, Vec<FrameImage>) {
+        let world = World::new(42);
+        let mut ds_cfg = DatasetConfig::small(1);
+        ds_cfg.frame_count = 12;
+        ds_cfg.frame_px = 132;
+        let dataset = Dataset::sample(&world, &ds_cfg);
+        let artifacts = Transformation::new(KodanConfig::fast(3))
+            .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        let logic = artifacts.select_for_target(
+            HwTarget::OrinAgx15W,
+            Duration::from_seconds(22.0),
+        );
+        let runtime = Runtime::new(logic, artifacts.engine.clone());
+        let frames: Vec<FrameImage> = (0..4)
+            .map(|i| world.render_frame(-30.0 + 20.0 * i as f64, 15.0 * i as f64, 0.5, 132, 150.0))
+            .collect();
+        (runtime, frames)
+    }
+
+    #[test]
+    fn frame_outcome_accounting_is_conservative() {
+        let (runtime, frames) = runtime_and_frames();
+        for frame in &frames {
+            let o = runtime.process_frame(frame);
+            assert!(o.sent_px <= o.observed_px);
+            assert!(o.value_px <= o.sent_px);
+            assert!(o.observed_value_px <= o.observed_px);
+            assert_eq!(o.observed_px as usize, frame.pixel_count());
+            assert_eq!(
+                o.tiles_elided + o.tiles_processed,
+                runtime.logic().tiles_per_frame()
+            );
+            assert!(o.compute.as_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn runtime_filters_better_than_bent_pipe() {
+        let (runtime, frames) = runtime_and_frames();
+        let (total, _) = runtime.process_frames(frames.iter());
+        let bent: u64 = frames.iter().map(|f| bent_pipe_frame(f).value_px).sum();
+        let bent_sent: u64 = frames.iter().map(|f| bent_pipe_frame(f).sent_px).sum();
+        let bent_precision = bent as f64 / bent_sent as f64;
+        assert!(
+            total.precision() > bent_precision,
+            "kodan precision {} vs bent pipe {}",
+            total.precision(),
+            bent_precision
+        );
+    }
+
+    #[test]
+    fn mean_compute_is_average_of_frames() {
+        let (runtime, frames) = runtime_and_frames();
+        let (total, mean) = runtime.process_frames(frames.iter());
+        assert!(
+            (mean.as_seconds() * frames.len() as f64 - total.compute.as_seconds()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn bent_pipe_sends_everything() {
+        let world = World::new(7);
+        let frame = world.render_frame(10.0, 10.0, 0.0, 66, 150.0);
+        let o = bent_pipe_frame(&frame);
+        assert_eq!(o.sent_px, frame.pixel_count() as u64);
+        assert_eq!(o.compute, Duration::ZERO);
+        let hv = 1.0 - frame.cloud_fraction();
+        assert!((o.precision() - hv).abs() < 0.01);
+    }
+
+    #[test]
+    fn processing_empty_iterator_is_safe() {
+        let (runtime, _) = runtime_and_frames();
+        let (total, mean) = runtime.process_frames(std::iter::empty());
+        assert_eq!(total.sent_px, 0);
+        assert_eq!(mean, Duration::ZERO);
+    }
+}

@@ -1,0 +1,706 @@
+//! The selection logic: Kodan's one-time, per-target optimization.
+//!
+//! Given the transformation artifacts (contexts, models, per-grid
+//! validation statistics) and a deployment target, the selection step
+//! sweeps frame tile count and per-context action — discard, downlink, or
+//! one of the candidate models — to maximize the estimated data value
+//! density of the saturated downlink (paper Section 3.4).
+//!
+//! The estimator mirrors the mission accounting: when the chosen
+//! configuration misses the frame deadline only a fraction of frames get
+//! processed, and when it produces less data than the downlink can carry
+//! the idle capacity counts for nothing. Those two pressures reproduce
+//! the paper's regimes — trade precision for time under a computational
+//! bottleneck, spend idle time on precision otherwise.
+
+use crate::elide::{Action, ActionOutcome};
+use crate::pipeline::TransformationArtifacts;
+use crate::specialize::SpecializedModel;
+use kodan_cote::time::Duration;
+use kodan_hw::latency::LatencyModel;
+use kodan_hw::targets::HwTarget;
+use kodan_ml::zoo::ModelArch;
+use serde::{Deserialize, Serialize};
+
+/// Downlink capacity as a fraction of observed data, used when the
+/// caller does not supply a mission-specific value. Matches the paper's
+/// Landsat analysis (a bent pipe downlinks ~21 % of observations).
+pub const DEFAULT_CAPACITY_FRACTION: f64 = 0.21;
+
+/// Minimum high-value fraction for a context to be eligible for
+/// downlink elision. The paper elides only for contexts "almost
+/// entirely" high-value; gating also keeps the optimizer from
+/// cherry-picking one clean context and starving the downlink when the
+/// on-orbit context mix shifts from the validation mix.
+pub const ELIDE_DOWNLINK_THRESHOLD: f64 = 0.85;
+
+/// Maximum high-value fraction for a context to be eligible for discard
+/// elision.
+pub const ELIDE_DISCARD_THRESHOLD: f64 = 0.15;
+
+/// Which of Kodan's three techniques the optimizer may use. Restricting
+/// the set yields the paper's per-technique ablations: tiling-only
+/// (Figure 14) and elision-only (Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TechniqueSet {
+    /// Sweep tile count per frame.
+    pub tiling: bool,
+    /// Allow context-specialized models.
+    pub specialization: bool,
+    /// Allow per-context downlink/discard elision.
+    pub elision: bool,
+}
+
+impl TechniqueSet {
+    /// All three techniques (full Kodan).
+    pub fn all() -> TechniqueSet {
+        TechniqueSet {
+            tiling: true,
+            specialization: true,
+            elision: true,
+        }
+    }
+
+    /// Only frame tiling (Figure 14's ablation).
+    pub fn tiling_only() -> TechniqueSet {
+        TechniqueSet {
+            tiling: true,
+            specialization: false,
+            elision: false,
+        }
+    }
+
+    /// Only context-based elision at the direct-deploy tiling
+    /// (Figure 15's ablation).
+    pub fn elision_only() -> TechniqueSet {
+        TechniqueSet {
+            tiling: false,
+            specialization: false,
+            elision: true,
+        }
+    }
+
+    /// Only context-specialized models at the direct-deploy tiling.
+    pub fn specialization_only() -> TechniqueSet {
+        TechniqueSet {
+            tiling: false,
+            specialization: true,
+            elision: false,
+        }
+    }
+}
+
+/// The optimizer's prediction of a configuration's behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionEstimate {
+    /// Expected time to process one frame.
+    pub frame_time: Duration,
+    /// Fraction of frames processed within the deadline (1.0 when the
+    /// deadline is met on average).
+    pub processed_fraction: f64,
+    /// Expected fraction of observed pixels downlinked.
+    pub sent_fraction: f64,
+    /// Expected fraction of observed pixels downlinked and high-value.
+    pub value_fraction: f64,
+    /// Estimated data value density of the saturated downlink.
+    pub dvd: f64,
+}
+
+/// A deployable policy: tile count, per-context actions, and the models
+/// those actions reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionLogic {
+    arch: ModelArch,
+    target: HwTarget,
+    grid: usize,
+    actions: Vec<Action>,
+    models: Vec<SpecializedModel>,
+    deadline: Duration,
+    capacity_fraction: f64,
+    estimate: SelectionEstimate,
+}
+
+impl SelectionLogic {
+    /// Builds the DVD-maximizing selection logic for a target.
+    ///
+    /// `capacity_fraction` is the downlink capacity divided by the data
+    /// volume observed over the same period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifacts contain no grids, the deadline is not
+    /// positive, or `capacity_fraction` is not in `(0, 1]`.
+    pub fn build(
+        artifacts: &TransformationArtifacts,
+        target: HwTarget,
+        deadline: Duration,
+        capacity_fraction: f64,
+    ) -> SelectionLogic {
+        Self::build_restricted(
+            artifacts,
+            target,
+            deadline,
+            capacity_fraction,
+            TechniqueSet::all(),
+        )
+    }
+
+    /// Like [`SelectionLogic::build`] but with a restricted technique set
+    /// — used for the paper's per-technique ablations (Figures 14-15).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SelectionLogic::build`].
+    pub fn build_restricted(
+        artifacts: &TransformationArtifacts,
+        target: HwTarget,
+        deadline: Duration,
+        capacity_fraction: f64,
+        techniques: TechniqueSet,
+    ) -> SelectionLogic {
+        assert!(deadline.as_seconds() > 0.0, "deadline must be positive");
+        assert!(
+            capacity_fraction > 0.0 && capacity_fraction <= 1.0,
+            "capacity fraction must be in (0, 1]"
+        );
+        assert!(!artifacts.grids.is_empty(), "artifacts contain no grids");
+
+        let latency = LatencyModel::new(target);
+        let mut best: Option<SelectionLogic> = None;
+
+        // Without the tiling technique the application keeps the
+        // direct-deploy tiling (the densest grid).
+        let densest = artifacts
+            .grids
+            .iter()
+            .map(|g| g.grid)
+            .max()
+            .expect("artifacts contain grids");
+
+        for ga in &artifacts.grids {
+            if !techniques.tiling && ga.grid != densest {
+                continue;
+            }
+            let k = artifacts.contexts.len();
+            // Candidate models for this grid: index 0 is the global
+            // model, then single-context models, then multi-context
+            // (merged) models.
+            let mut models = vec![ga.global_model.clone()];
+            let mut context_model_index = vec![None; k];
+            for (c, m) in ga.context_models.iter().enumerate() {
+                if let Some(m) = m {
+                    context_model_index[c] = Some(models.len());
+                    models.push(m.clone());
+                }
+            }
+            let mut merged_model_index = Vec::with_capacity(ga.merged_models.len());
+            for m in &ga.merged_models {
+                merged_model_index.push(models.len());
+                models.push(m.clone());
+            }
+
+            // Per-context action options, filtered by the technique set.
+            let options: Vec<Vec<ActionOutcome>> = (0..k)
+                .map(|c| {
+                    let mut opts = vec![ActionOutcome::process(
+                        0,
+                        &ga.global_eval_per_context[c],
+                        latency.full_model_tile_time(artifacts.arch),
+                    )];
+                    if techniques.elision {
+                        if ga.context_hv[c] <= ELIDE_DISCARD_THRESHOLD {
+                            opts.push(ActionOutcome::discard());
+                        }
+                        if ga.context_hv[c] >= ELIDE_DOWNLINK_THRESHOLD {
+                            opts.push(ActionOutcome::downlink(ga.context_hv[c]));
+                        }
+                    }
+                    if techniques.specialization {
+                        if let (Some(idx), Some(cm)) =
+                            (context_model_index[c], ga.context_model_eval[c].as_ref())
+                        {
+                            opts.push(ActionOutcome::process(
+                                idx,
+                                cm,
+                                latency.specialized_tile_time(
+                                    artifacts.arch,
+                                    models[idx].ops_ratio(),
+                                ),
+                            ));
+                        }
+                        for (mi, evals) in ga.merged_eval.iter().enumerate() {
+                            if let Some(cm) = &evals[c] {
+                                let idx = merged_model_index[mi];
+                                opts.push(ActionOutcome::process(
+                                    idx,
+                                    cm,
+                                    latency.specialized_tile_time(
+                                        artifacts.arch,
+                                        models[idx].ops_ratio(),
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    opts
+                })
+                .collect();
+
+            let chosen = optimize_actions(
+                &options,
+                &ga.context_weights,
+                ga.grid * ga.grid,
+                &latency,
+                deadline,
+                capacity_fraction,
+            );
+            let estimate = estimate_policy(
+                &chosen.iter().map(|&(c, o)| (c, options[c][o])).collect::<Vec<_>>(),
+                &ga.context_weights,
+                ga.grid * ga.grid,
+                &latency,
+                deadline,
+                capacity_fraction,
+            );
+            let actions: Vec<Action> = chosen
+                .iter()
+                .map(|&(c, o)| options[c][o].action)
+                .collect();
+            let candidate = SelectionLogic {
+                arch: artifacts.arch,
+                target,
+                grid: ga.grid,
+                actions,
+                models: models.clone(),
+                deadline,
+                capacity_fraction,
+                estimate,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => selection_score(&candidate.estimate) > selection_score(&b.estimate),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best.expect("at least one grid was evaluated")
+    }
+
+    /// The direct-deployment policy the paper compares against: the
+    /// accuracy-maximal tiling from prior work (the densest grid, 121
+    /// tiles) with the full reference model on every tile and no elision.
+    pub fn direct_deploy(
+        artifacts: &TransformationArtifacts,
+        target: HwTarget,
+        deadline: Duration,
+        capacity_fraction: f64,
+    ) -> SelectionLogic {
+        let ga = artifacts
+            .grids
+            .iter()
+            .max_by_key(|g| g.grid)
+            .expect("artifacts contain grids");
+        Self::fixed_policy(artifacts, ga.grid, target, deadline, capacity_fraction)
+    }
+
+    /// The "maximum-precision tiling" baseline of Figure 11: the grid
+    /// whose global model scores the highest validation precision, full
+    /// model everywhere, no elision.
+    pub fn max_precision_tiling(
+        artifacts: &TransformationArtifacts,
+        target: HwTarget,
+        deadline: Duration,
+        capacity_fraction: f64,
+    ) -> SelectionLogic {
+        let ga = artifacts
+            .grids
+            .iter()
+            .max_by(|a, b| {
+                a.global_eval_all
+                    .precision()
+                    .partial_cmp(&b.global_eval_all.precision())
+                    .expect("precision is finite")
+            })
+            .expect("artifacts contain grids");
+        Self::fixed_policy(artifacts, ga.grid, target, deadline, capacity_fraction)
+    }
+
+    fn fixed_policy(
+        artifacts: &TransformationArtifacts,
+        grid: usize,
+        target: HwTarget,
+        deadline: Duration,
+        capacity_fraction: f64,
+    ) -> SelectionLogic {
+        let ga = artifacts
+            .grids
+            .iter()
+            .find(|g| g.grid == grid)
+            .expect("grid present in artifacts");
+        let latency = LatencyModel::new(target);
+        let k = artifacts.contexts.len();
+        let outcomes: Vec<(usize, ActionOutcome)> = (0..k)
+            .map(|c| {
+                (
+                    c,
+                    ActionOutcome::process(
+                        0,
+                        &ga.global_eval_per_context[c],
+                        latency.full_model_tile_time(artifacts.arch),
+                    ),
+                )
+            })
+            .collect();
+        let estimate = estimate_policy(
+            &outcomes,
+            &ga.context_weights,
+            grid * grid,
+            &latency,
+            deadline,
+            capacity_fraction,
+        );
+        SelectionLogic {
+            arch: artifacts.arch,
+            target,
+            grid,
+            actions: vec![Action::Process { model_index: 0 }; k],
+            models: vec![ga.global_model.clone()],
+            deadline,
+            capacity_fraction,
+            estimate,
+        }
+    }
+
+    /// The selected tile-grid dimension.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Tiles per frame under the selected grid.
+    pub fn tiles_per_frame(&self) -> usize {
+        self.grid * self.grid
+    }
+
+    /// The action for a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context id is out of range.
+    pub fn action_for(&self, context: crate::context::ContextId) -> Action {
+        self.actions[context.0]
+    }
+
+    /// All per-context actions, indexed by context id.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// The model table referenced by `Action::Process`.
+    pub fn models(&self) -> &[SpecializedModel] {
+        &self.models
+    }
+
+    /// The architecture being deployed.
+    pub fn arch(&self) -> ModelArch {
+        self.arch
+    }
+
+    /// The deployment target.
+    pub fn target(&self) -> HwTarget {
+        self.target
+    }
+
+    /// The frame deadline the logic was optimized for.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// The optimizer's estimate of deployed behavior.
+    pub fn estimate(&self) -> &SelectionEstimate {
+        &self.estimate
+    }
+}
+
+/// Exhaustively (or greedily, for very large search spaces) picks the
+/// per-context option indices maximizing estimated DVD. Returns
+/// `(context, option_index)` pairs in context order.
+fn optimize_actions(
+    options: &[Vec<ActionOutcome>],
+    weights: &[f64],
+    tiles_per_frame: usize,
+    latency: &LatencyModel,
+    deadline: Duration,
+    capacity_fraction: f64,
+) -> Vec<(usize, usize)> {
+    let k = options.len();
+    let space: f64 = options.iter().map(|o| o.len() as f64).product();
+    let score = |choice: &[usize]| -> (bool, i64, f64, f64) {
+        let outcomes: Vec<(usize, ActionOutcome)> = choice
+            .iter()
+            .enumerate()
+            .map(|(c, &o)| (c, options[c][o]))
+            .collect();
+        let est = estimate_policy(
+            &outcomes,
+            weights,
+            tiles_per_frame,
+            latency,
+            deadline,
+            capacity_fraction,
+        );
+        selection_score(&est)
+    };
+
+    let mut best_choice: Vec<usize> = vec![0; k];
+    if space <= 600_000.0 {
+        // Odometer enumeration.
+        let mut choice = vec![0usize; k];
+        let mut best_score = score(&choice);
+        loop {
+            // Advance odometer.
+            let mut pos = 0;
+            loop {
+                if pos == k {
+                    return best_choice.into_iter().enumerate().collect();
+                }
+                choice[pos] += 1;
+                if choice[pos] < options[pos].len() {
+                    break;
+                }
+                choice[pos] = 0;
+                pos += 1;
+            }
+            let s = score(&choice);
+            if s > best_score {
+                best_score = s;
+                best_choice.copy_from_slice(&choice);
+            }
+        }
+    } else {
+        // Coordinate ascent from the all-global-model start (option 0).
+        let mut choice: Vec<usize> = vec![0; k];
+        let mut best_score = score(&choice);
+        for _ in 0..8 {
+            let mut improved = false;
+            for c in 0..k {
+                let original = choice[c];
+                for o in 0..options[c].len() {
+                    if o == original {
+                        continue;
+                    }
+                    choice[c] = o;
+                    let s = score(&choice);
+                    if s > best_score {
+                        best_score = s;
+                        improved = true;
+                    } else {
+                        choice[c] = original;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        best_choice = choice;
+        best_choice.into_iter().enumerate().collect()
+    }
+}
+
+/// DVD quantum used when comparing candidate policies. Differences below
+/// this are statistical noise of the validation estimates, so the
+/// optimizer resolves them toward deadline-meeting, higher-value,
+/// cheaper configurations instead (the paper's "meeting the soft
+/// deadline" behavior, Section 3.4).
+const DVD_COMPARE_QUANTUM: f64 = 0.005;
+
+/// Lexicographic policy score: meeting the frame deadline first — the
+/// paper's runtime "executes the most precise models that support average
+/// frame processing times less than the frame deadline" — then quantized
+/// DVD, then total value downlinked, then cheapness.
+fn selection_score(est: &SelectionEstimate) -> (bool, i64, f64, f64) {
+    (
+        est.processed_fraction >= 1.0,
+        (est.dvd / DVD_COMPARE_QUANTUM).round() as i64,
+        est.value_fraction,
+        -est.frame_time.as_seconds(),
+    )
+}
+
+/// The shared estimator: predicts frame time, processed fraction, sent
+/// and value fractions, and DVD for a per-context policy.
+pub(crate) fn estimate_policy(
+    outcomes: &[(usize, ActionOutcome)],
+    weights: &[f64],
+    tiles_per_frame: usize,
+    latency: &LatencyModel,
+    deadline: Duration,
+    capacity_fraction: f64,
+) -> SelectionEstimate {
+    let base_per_tile = latency.context_engine_tile_time() + latency.resize_tile_time();
+    let mut extra = Duration::ZERO;
+    let mut sent = 0.0;
+    let mut value = 0.0;
+    for &(c, outcome) in outcomes {
+        let w = weights[c];
+        extra += outcome.extra_time * w;
+        sent += w * outcome.sent_fraction;
+        value += w * outcome.value_fraction;
+    }
+    let frame_time = (base_per_tile + extra) * tiles_per_frame as f64;
+    let processed_fraction = if frame_time <= deadline {
+        1.0
+    } else {
+        deadline / frame_time
+    };
+    let eff_sent = processed_fraction * sent;
+    let eff_value = processed_fraction * value;
+    let dvd = if eff_sent <= 0.0 {
+        0.0
+    } else {
+        eff_value / eff_sent.max(capacity_fraction)
+    };
+    SelectionEstimate {
+        frame_time,
+        processed_fraction,
+        sent_fraction: eff_sent,
+        value_fraction: eff_value,
+        dvd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kodan_ml::eval::ConfusionMatrix;
+
+    fn latency() -> LatencyModel {
+        LatencyModel::new(HwTarget::OrinAgx15W)
+    }
+
+    fn process_outcome(prec: f64, recall: f64, prevalence: f64, time_s: f64) -> ActionOutcome {
+        // Build a confusion matrix with the requested statistics over
+        // 1000 pixels.
+        let pos = (1000.0 * prevalence) as u64;
+        let tp = (pos as f64 * recall) as u64;
+        let fp = ((tp as f64 / prec) - tp as f64).round() as u64;
+        let cm = ConfusionMatrix {
+            tp,
+            fp,
+            tn: 1000 - pos - fp,
+            fn_: pos - tp,
+        };
+        ActionOutcome::process(0, &cm, Duration::from_seconds(time_s))
+    }
+
+    #[test]
+    fn estimator_meets_deadline_at_low_cost() {
+        let outcomes = vec![(0usize, ActionOutcome::downlink(0.9))];
+        let est = estimate_policy(
+            &outcomes,
+            &[1.0],
+            9,
+            &latency(),
+            Duration::from_seconds(22.0),
+            0.2,
+        );
+        assert_eq!(est.processed_fraction, 1.0);
+        assert!(est.frame_time.as_seconds() < 1.0);
+        // Everything sent at 90% value, saturating: DVD = 0.9.
+        assert!((est.dvd - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_penalizes_missed_deadline() {
+        let slow = process_outcome(0.95, 0.95, 0.5, 2.0);
+        let outcomes = vec![(0usize, slow)];
+        let est = estimate_policy(
+            &outcomes,
+            &[1.0],
+            121,
+            &latency(),
+            Duration::from_seconds(22.0),
+            0.2,
+        );
+        assert!(est.processed_fraction < 0.15);
+        // Produces less than capacity: idle downlink dilutes DVD.
+        assert!(est.sent_fraction < 0.2);
+        assert!(est.dvd < 0.5, "dvd = {}", est.dvd);
+    }
+
+    #[test]
+    fn estimator_thins_when_oversending() {
+        // Send everything (bent-pipe-like): DVD equals prevalence.
+        let outcomes = vec![(0usize, ActionOutcome::downlink(0.48))];
+        let est = estimate_policy(
+            &outcomes,
+            &[1.0],
+            9,
+            &latency(),
+            Duration::from_seconds(22.0),
+            0.2,
+        );
+        assert!((est.dvd - 0.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimizer_prefers_elision_for_extreme_contexts() {
+        // Context 0: 97% high-value; context 1: 3% high-value; context 2:
+        // mixed. A modestly-precise model is available. The optimizer
+        // should downlink context 0, discard context 1 under pressure.
+        let model_mixed = process_outcome(0.93, 0.9, 0.5, 1.6);
+        let options = vec![
+            vec![
+                ActionOutcome::discard(),
+                ActionOutcome::downlink(0.97),
+                process_outcome(0.98, 0.9, 0.97, 1.6),
+            ],
+            vec![
+                ActionOutcome::discard(),
+                ActionOutcome::downlink(0.03),
+                process_outcome(0.6, 0.9, 0.03, 1.6),
+            ],
+            vec![
+                ActionOutcome::discard(),
+                ActionOutcome::downlink(0.5),
+                model_mixed,
+            ],
+        ];
+        let weights = vec![0.4, 0.3, 0.3];
+        let chosen = optimize_actions(
+            &options,
+            &weights,
+            121,
+            &latency(),
+            Duration::from_seconds(22.0),
+            0.2,
+        );
+        let picks: Vec<usize> = chosen.iter().map(|&(_, o)| o).collect();
+        // Context 1 (low value) must not be downlinked raw.
+        assert_ne!(picks[1], 1, "low-value context downlinked raw: {picks:?}");
+        // Context 0 should be elided (downlink) — processing 121 tiles of
+        // a 1.6 s model busts the deadline hard.
+        assert_eq!(picks[0], 1, "high-value context not elided: {picks:?}");
+    }
+
+    #[test]
+    fn optimizer_is_exhaustive_for_small_spaces() {
+        // One context, options where the best is the last: make sure the
+        // odometer reaches it.
+        let options = vec![vec![
+            ActionOutcome::discard(),
+            ActionOutcome::downlink(0.2),
+            ActionOutcome::downlink(0.95),
+        ]];
+        let chosen = optimize_actions(
+            &options,
+            &[1.0],
+            9,
+            &latency(),
+            Duration::from_seconds(22.0),
+            0.2,
+        );
+        assert_eq!(chosen[0].1, 2);
+    }
+}

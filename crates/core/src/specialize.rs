@@ -1,0 +1,366 @@
+//! Context-based model specialization.
+//!
+//! Rather than executing the original datacenter-scale reference
+//! application, Kodan trains and runs models specialized to contexts
+//! (paper Section 3.3). Specialized models are *smaller* — here, an MLP
+//! with a third of the reference width — because each serves a narrower
+//! slice of the data distribution, and they retain or improve accuracy on
+//! their own context while executing faster.
+//!
+//! The module also implements the reference ("direct deploy") model: the
+//! full-capacity network trained on all contexts, whose execution time on
+//! each target is the paper's Table 1.
+
+use crate::context::ContextId;
+use kodan_geodata::features::{pixel_features, FEATURE_DIM};
+use kodan_geodata::pixel::CHANNELS;
+use kodan_geodata::resize::{resize_channels, resize_mask};
+use kodan_geodata::tile::TileImage;
+use kodan_ml::eval::ConfusionMatrix;
+use kodan_ml::mlp::Mlp;
+use kodan_ml::train::TrainConfig;
+use kodan_ml::zoo::ModelArch;
+use kodan_ml::PixelClassifier;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// What slice of the data a model serves.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelScope {
+    /// Trained on every context: the reference/direct-deploy model.
+    Global,
+    /// Trained on a single context's tiles.
+    Context(ContextId),
+    /// Trained across several contexts' tiles (paper Section 3.3:
+    /// "specialized across multiple contexts").
+    Multi(Vec<ContextId>),
+}
+
+impl ModelScope {
+    /// True if this scope covers the given context.
+    pub fn covers(&self, context: ContextId) -> bool {
+        match self {
+            ModelScope::Global => true,
+            ModelScope::Context(c) => *c == context,
+            ModelScope::Multi(cs) => cs.contains(&context),
+        }
+    }
+}
+
+/// A trained per-pixel cloud/clear classifier plus the metadata the
+/// selection logic and latency model need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecializedModel {
+    arch: ModelArch,
+    scope: ModelScope,
+    classifier: Mlp,
+    feature_budget: usize,
+    input_resolution: usize,
+    /// Op count relative to the full reference architecture, in `(0, 1]`.
+    ops_ratio: f64,
+}
+
+impl SpecializedModel {
+    /// Trains the full-capacity reference model on (a sample of) all
+    /// tiles. This is what direct deployment runs.
+    pub fn train_global(
+        tiles: &[TileImage],
+        arch: ModelArch,
+        max_train_pixels: usize,
+        config: &TrainConfig,
+    ) -> SpecializedModel {
+        Self::train_scoped(tiles, arch, ModelScope::Global, max_train_pixels, config)
+    }
+
+    /// Trains a reduced-capacity model specialized to one context's
+    /// tiles.
+    pub fn train_for_context(
+        tiles: &[TileImage],
+        arch: ModelArch,
+        context: ContextId,
+        max_train_pixels: usize,
+        config: &TrainConfig,
+    ) -> SpecializedModel {
+        Self::train_scoped(
+            tiles,
+            arch,
+            ModelScope::Context(context),
+            max_train_pixels,
+            config,
+        )
+    }
+
+    /// Trains a reduced-capacity model specialized across several
+    /// contexts' tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is empty.
+    pub fn train_for_contexts(
+        tiles: &[TileImage],
+        arch: ModelArch,
+        contexts: Vec<ContextId>,
+        max_train_pixels: usize,
+        config: &TrainConfig,
+    ) -> SpecializedModel {
+        assert!(!contexts.is_empty(), "multi-context scope needs contexts");
+        Self::train_scoped(
+            tiles,
+            arch,
+            ModelScope::Multi(contexts),
+            max_train_pixels,
+            config,
+        )
+    }
+
+    fn train_scoped(
+        tiles: &[TileImage],
+        arch: ModelArch,
+        scope: ModelScope,
+        max_train_pixels: usize,
+        config: &TrainConfig,
+    ) -> SpecializedModel {
+        assert!(!tiles.is_empty(), "training needs tiles");
+        assert!(max_train_pixels > 0, "training needs a pixel budget");
+        let full_hidden = arch.hidden_units();
+        let hidden = match &scope {
+            ModelScope::Global => full_hidden,
+            // Specialized models are smaller: a third of the reference
+            // width for single contexts, half for multi-context scopes
+            // (paper Section 3.3: "smaller and simpler").
+            ModelScope::Context(_) => (full_hidden / 3).max(3),
+            ModelScope::Multi(_) => (full_hidden / 2).max(4),
+        };
+        let budget = arch.feature_budget();
+        let resolution = arch.input_resolution();
+
+        let (x, y) = sample_training_pixels(tiles, resolution, budget, max_train_pixels, config.seed);
+        let classifier = Mlp::fit_flat(&x, budget, &y, hidden, config);
+        SpecializedModel {
+            arch,
+            scope,
+            classifier,
+            feature_budget: budget,
+            input_resolution: resolution,
+            ops_ratio: hidden as f64 / full_hidden as f64,
+        }
+    }
+
+    /// The architecture this model derives from.
+    pub fn arch(&self) -> ModelArch {
+        self.arch
+    }
+
+    /// The model's scope.
+    pub fn scope(&self) -> &ModelScope {
+        &self.scope
+    }
+
+    /// Relative op count versus the full reference architecture.
+    pub fn ops_ratio(&self) -> f64 {
+        self.ops_ratio
+    }
+
+    /// The model's input resolution (pixels per side).
+    pub fn input_resolution(&self) -> usize {
+        self.input_resolution
+    }
+
+    /// Predicts the per-pixel high-value mask of a tile *at the tile's
+    /// native resolution* (predictions are made at the model input
+    /// resolution and carried back by nearest-neighbor resampling —
+    /// exactly where decimation error enters).
+    pub fn predict_tile(&self, tile: &TileImage) -> Vec<bool> {
+        let feats = tile_features(tile, self.input_resolution);
+        let r = self.input_resolution;
+        let mut pred_at_r = vec![false; r * r];
+        for (i, slot) in pred_at_r.iter_mut().enumerate() {
+            let row = &feats[i * FEATURE_DIM..i * FEATURE_DIM + self.feature_budget];
+            *slot = self.classifier.predict(row);
+        }
+        resize_mask(&pred_at_r, r, tile.size())
+    }
+
+    /// Evaluates the model on one tile against native-resolution truth.
+    /// Positive class = high-value (clear) pixel.
+    pub fn evaluate_tile(&self, tile: &TileImage) -> ConfusionMatrix {
+        let pred = self.predict_tile(tile);
+        let truth_hv: Vec<bool> = tile.truth_cloudy().iter().map(|&c| !c).collect();
+        ConfusionMatrix::from_predictions(&pred, &truth_hv)
+    }
+
+    /// Evaluates the model over many tiles.
+    pub fn evaluate<'a, I>(&self, tiles: I) -> ConfusionMatrix
+    where
+        I: IntoIterator<Item = &'a TileImage>,
+    {
+        let mut cm = ConfusionMatrix::new();
+        for t in tiles {
+            cm += self.evaluate_tile(t);
+        }
+        cm
+    }
+}
+
+/// Extracts the full per-pixel feature matrix of a tile at a given model
+/// input resolution.
+pub fn tile_features(tile: &TileImage, resolution: usize) -> Vec<f64> {
+    let resized = resize_channels(tile.channels(), tile.size(), CHANNELS, resolution);
+    pixel_features(&resized, resolution)
+}
+
+/// Truth labels (high-value = true) of a tile at a model input
+/// resolution.
+pub fn tile_labels(tile: &TileImage, resolution: usize) -> Vec<bool> {
+    let truth_hv: Vec<bool> = tile.truth_cloudy().iter().map(|&c| !c).collect();
+    resize_mask(&truth_hv, tile.size(), resolution)
+}
+
+/// Samples up to `max_pixels` (feature, label) rows from tiles,
+/// deterministically. Tiles are visited in shuffled order; all pixels of
+/// a visited tile are taken until the budget runs out, keeping intra-tile
+/// spatial structure in the features.
+fn sample_training_pixels(
+    tiles: &[TileImage],
+    resolution: usize,
+    feature_budget: usize,
+    max_pixels: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<bool>) {
+    let mut order: Vec<usize> = (0..tiles.len()).collect();
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7A11);
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for &idx in &order {
+        if y.len() >= max_pixels {
+            break;
+        }
+        let tile = &tiles[idx];
+        let feats = tile_features(tile, resolution);
+        let labels = tile_labels(tile, resolution);
+        for (i, label) in labels.iter().enumerate() {
+            if y.len() >= max_pixels {
+                break;
+            }
+            x.extend_from_slice(&feats[i * FEATURE_DIM..i * FEATURE_DIM + feature_budget]);
+            y.push(*label);
+        }
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kodan_geodata::{Dataset, DatasetConfig, World};
+    use kodan_ml::train::TrainConfig;
+
+    fn tiles() -> Vec<TileImage> {
+        let world = World::new(42);
+        let mut cfg = DatasetConfig::small(1);
+        cfg.frame_count = 10;
+        Dataset::sample(&world, &cfg).tiles(3)
+    }
+
+    fn fast_config() -> TrainConfig {
+        TrainConfig::fast(1)
+    }
+
+    #[test]
+    fn global_model_beats_chance_substantially() {
+        let tiles = tiles();
+        let model = SpecializedModel::train_global(
+            &tiles,
+            ModelArch::ResNet50DilatedPpm,
+            2_000,
+            &fast_config(),
+        );
+        let cm = model.evaluate(tiles.iter());
+        // The cirrus band makes cloud masking learnable: expect well
+        // above the majority-class baseline.
+        assert!(cm.accuracy() > 0.75, "accuracy = {}", cm.accuracy());
+        assert!(cm.precision() > 0.7, "precision = {}", cm.precision());
+    }
+
+    #[test]
+    fn specialized_model_is_smaller_and_scoped() {
+        let tiles = tiles();
+        let ctx = ContextId(0);
+        let model = SpecializedModel::train_for_context(
+            &tiles,
+            ModelArch::ResNet101UperNet,
+            ctx,
+            1_000,
+            &fast_config(),
+        );
+        assert_eq!(model.scope(), &ModelScope::Context(ctx));
+        assert!(model.ops_ratio() < 0.5, "ops ratio = {}", model.ops_ratio());
+        assert!(model.ops_ratio() > 0.0);
+    }
+
+    #[test]
+    fn prediction_has_native_resolution() {
+        let tiles = tiles();
+        let model = SpecializedModel::train_global(
+            &tiles,
+            ModelArch::MobileNetV2DilatedC1,
+            1_000,
+            &fast_config(),
+        );
+        let pred = model.predict_tile(&tiles[0]);
+        assert_eq!(pred.len(), tiles[0].size() * tiles[0].size());
+    }
+
+    #[test]
+    fn evaluation_counts_every_native_pixel() {
+        let tiles = tiles();
+        let model = SpecializedModel::train_global(
+            &tiles,
+            ModelArch::MobileNetV2DilatedC1,
+            1_000,
+            &fast_config(),
+        );
+        let cm = model.evaluate_tile(&tiles[0]);
+        assert_eq!(cm.total() as usize, tiles[0].size() * tiles[0].size());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let tiles = tiles();
+        let a = SpecializedModel::train_global(
+            &tiles,
+            ModelArch::HrNetV2C1,
+            1_000,
+            &fast_config(),
+        );
+        let b = SpecializedModel::train_global(
+            &tiles,
+            ModelArch::HrNetV2C1,
+            1_000,
+            &fast_config(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feature_and_label_extraction_shapes() {
+        let tiles = tiles();
+        let feats = tile_features(&tiles[0], 16);
+        assert_eq!(feats.len(), 16 * 16 * FEATURE_DIM);
+        let labels = tile_labels(&tiles[0], 16);
+        assert_eq!(labels.len(), 16 * 16);
+    }
+
+    #[test]
+    fn pixel_budget_caps_training_set() {
+        let tiles = tiles();
+        let (x, y) = sample_training_pixels(&tiles, 16, 6, 500, 1);
+        assert_eq!(y.len(), 500);
+        assert_eq!(x.len(), 500 * 6);
+    }
+}

@@ -1,0 +1,188 @@
+//! Frame-tiling analysis: the accuracy/precision/time trade (Figures 6,
+//! 13 and 14).
+//!
+//! Tile count per frame determines both the decimation each tile suffers
+//! on its way to the model input and the total frame processing time.
+//! This module reads the per-grid validation statistics out of the
+//! transformation artifacts and prices each tiling on a target.
+
+use crate::pipeline::TransformationArtifacts;
+use crate::selection::{estimate_policy, SelectionEstimate};
+use crate::elide::ActionOutcome;
+use kodan_cote::time::Duration;
+use kodan_hw::latency::LatencyModel;
+use kodan_hw::targets::HwTarget;
+use serde::{Deserialize, Serialize};
+
+/// One point of a tiling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TilingPoint {
+    /// Grid dimension.
+    pub grid: usize,
+    /// Tiles per frame (`grid * grid`).
+    pub tiles_per_frame: usize,
+    /// Validation accuracy of the global model at this tiling.
+    pub accuracy: f64,
+    /// Validation precision of the global model at this tiling.
+    pub precision: f64,
+    /// Frame processing time on the target (global model everywhere).
+    pub frame_time: Duration,
+    /// Estimated behavior of the tiles-only policy on the target.
+    pub estimate: SelectionEstimate,
+}
+
+/// Sweeps every grid in the artifacts for a target, pricing the
+/// global-model-everywhere policy (the tiling ablation of Figures 13-14:
+/// no contexts, no elision).
+pub fn tiling_sweep(
+    artifacts: &TransformationArtifacts,
+    target: HwTarget,
+    deadline: Duration,
+    capacity_fraction: f64,
+) -> Vec<TilingPoint> {
+    let latency = LatencyModel::new(target);
+    artifacts
+        .grids
+        .iter()
+        .map(|ga| {
+            let outcomes: Vec<(usize, ActionOutcome)> = (0..artifacts.contexts.len())
+                .map(|c| {
+                    (
+                        c,
+                        ActionOutcome::process(
+                            0,
+                            &ga.global_eval_per_context[c],
+                            latency.full_model_tile_time(artifacts.arch),
+                        ),
+                    )
+                })
+                .collect();
+            let estimate = estimate_policy(
+                &outcomes,
+                &ga.context_weights,
+                ga.grid * ga.grid,
+                &latency,
+                deadline,
+                capacity_fraction,
+            );
+            TilingPoint {
+                grid: ga.grid,
+                tiles_per_frame: ga.grid * ga.grid,
+                accuracy: ga.global_eval_all.accuracy(),
+                precision: ga.global_eval_all.precision(),
+                frame_time: estimate.frame_time,
+                estimate,
+            }
+        })
+        .collect()
+}
+
+/// The grid that maximizes validation accuracy.
+pub fn accuracy_optimal_grid(points: &[TilingPoint]) -> usize {
+    points
+        .iter()
+        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+        .expect("sweep is non-empty")
+        .grid
+}
+
+/// The grid that maximizes validation precision.
+pub fn precision_optimal_grid(points: &[TilingPoint]) -> usize {
+    points
+        .iter()
+        .max_by(|a, b| a.precision.partial_cmp(&b.precision).expect("finite"))
+        .expect("sweep is non-empty")
+        .grid
+}
+
+/// The grid that maximizes estimated DVD on the target.
+pub fn dvd_optimal_grid(points: &[TilingPoint]) -> usize {
+    points
+        .iter()
+        .max_by(|a, b| a.estimate.dvd.partial_cmp(&b.estimate.dvd).expect("finite"))
+        .expect("sweep is non-empty")
+        .grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KodanConfig;
+    use crate::pipeline::Transformation;
+    use kodan_geodata::{Dataset, DatasetConfig, World};
+    use kodan_ml::zoo::ModelArch;
+
+    fn sweep(target: HwTarget) -> Vec<TilingPoint> {
+        let world = World::new(42);
+        let mut ds_cfg = DatasetConfig::small(1);
+        ds_cfg.frame_count = 12;
+        ds_cfg.frame_px = 132;
+        let dataset = Dataset::sample(&world, &ds_cfg);
+        let artifacts = Transformation::new(KodanConfig::fast(3))
+            .run(&dataset, ModelArch::ResNet50DilatedPpm);
+        tiling_sweep(
+            &artifacts,
+            target,
+            Duration::from_seconds(22.0),
+            0.21,
+        )
+    }
+
+    #[test]
+    fn sweep_covers_all_grids_with_valid_stats() {
+        let points = sweep(HwTarget::OrinAgx15W);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert_eq!(p.tiles_per_frame, p.grid * p.grid);
+            assert!((0.0..=1.0).contains(&p.accuracy));
+            assert!((0.0..=1.0).contains(&p.precision));
+            assert!(p.frame_time.as_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn frame_time_scales_with_tile_count() {
+        let points = sweep(HwTarget::OrinAgx15W);
+        let by_grid = |g: usize| {
+            points
+                .iter()
+                .find(|p| p.grid == g)
+                .expect("grid present")
+                .frame_time
+                .as_seconds()
+        };
+        assert!(by_grid(11) > by_grid(6));
+        assert!(by_grid(6) > by_grid(4));
+        assert!(by_grid(4) > by_grid(3));
+        // 121 tiles vs 9 tiles: ~13.4x.
+        let ratio = by_grid(11) / by_grid(3);
+        assert!((12.0..15.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn constrained_target_prefers_coarser_tiling_than_unconstrained() {
+        let orin = dvd_optimal_grid(&sweep(HwTarget::OrinAgx15W));
+        let gpu = dvd_optimal_grid(&sweep(HwTarget::Gtx1070Ti));
+        assert!(
+            orin <= gpu,
+            "orin prefers grid {orin}, gpu prefers grid {gpu}"
+        );
+        // On the Orin, dense tiling is unaffordable.
+        assert!(orin <= 4, "orin picked grid {orin}");
+    }
+
+    #[test]
+    fn optimal_grid_selectors_agree_with_manual_scan() {
+        let points = sweep(HwTarget::Gtx1070Ti);
+        let acc = accuracy_optimal_grid(&points);
+        for p in &points {
+            let best = points.iter().find(|q| q.grid == acc).expect("present");
+            assert!(p.accuracy <= best.accuracy + 1e-12);
+        }
+        let prec = precision_optimal_grid(&points);
+        for p in &points {
+            let best = points.iter().find(|q| q.grid == prec).expect("present");
+            assert!(p.precision <= best.precision + 1e-12);
+        }
+    }
+}

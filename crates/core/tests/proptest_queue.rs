@@ -1,0 +1,95 @@
+//! Property-based tests for the downlink queue: conservation, priority
+//! ordering and storage bounds must hold for arbitrary workloads.
+
+use kodan::queue::{DownlinkQueue, QueueEntry};
+use proptest::prelude::*;
+
+fn entry_strategy() -> impl Strategy<Value = QueueEntry> {
+    (1.0f64..1000.0, 0.0f64..1.0).prop_map(|(bits, density)| {
+        QueueEntry::new(bits, bits * density)
+    })
+}
+
+proptest! {
+    #[test]
+    fn bits_are_conserved(
+        entries in prop::collection::vec(entry_strategy(), 1..60),
+        storage in 100.0f64..50_000.0,
+        budget in 0.0f64..50_000.0,
+    ) {
+        let mut q = DownlinkQueue::new(storage);
+        let mut pushed = 0.0;
+        let mut pushed_value = 0.0;
+        for e in &entries {
+            pushed += e.bits;
+            pushed_value += e.value_bits;
+            q.push(*e);
+        }
+        let r = q.drain(budget);
+        // Conservation of volume and value.
+        let accounted = r.sent_bits + q.dropped_bits() + q.occupied_bits();
+        prop_assert!((accounted - pushed).abs() < 1e-6);
+        prop_assert!(r.sent_value_bits <= pushed_value + 1e-6);
+        // Bounds.
+        prop_assert!(r.sent_bits <= budget + 1e-6);
+        prop_assert!(q.occupied_bits() <= storage + 1e-6);
+        prop_assert!(r.sent_value_bits <= r.sent_bits + 1e-6);
+    }
+
+    #[test]
+    fn drained_density_dominates_residual_density(
+        entries in prop::collection::vec(entry_strategy(), 2..40),
+        budget_fraction in 0.1f64..0.9,
+    ) {
+        // With unbounded storage, what goes down first must be at least
+        // as dense as what stays behind.
+        let mut q = DownlinkQueue::new(1e12);
+        let total: f64 = entries.iter().map(|e| e.bits).sum();
+        for e in &entries {
+            q.push(*e);
+        }
+        let r = q.drain(total * budget_fraction);
+        if r.sent_bits > 1e-9 && q.occupied_bits() > 1e-9 {
+            let sent_density = r.sent_value_bits / r.sent_bits;
+            let residual_value: f64 =
+                entries.iter().map(|e| e.value_bits).sum::<f64>() - r.sent_value_bits;
+            let residual_density = residual_value / q.occupied_bits();
+            prop_assert!(
+                sent_density >= residual_density - 1e-6,
+                "sent {} < residual {}",
+                sent_density,
+                residual_density
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_never_exceeds_storage(
+        entries in prop::collection::vec(entry_strategy(), 1..80),
+        storage in 50.0f64..2_000.0,
+    ) {
+        let mut q = DownlinkQueue::new(storage);
+        for e in &entries {
+            q.push(*e);
+            prop_assert!(q.occupied_bits() <= storage + 1e-6);
+        }
+    }
+
+    #[test]
+    fn repeated_drains_eventually_empty_the_queue(
+        entries in prop::collection::vec(entry_strategy(), 1..30),
+    ) {
+        let mut q = DownlinkQueue::new(1e12);
+        for e in &entries {
+            q.push(*e);
+        }
+        for _ in 0..2000 {
+            if q.is_empty() {
+                break;
+            }
+            q.drain(100.0);
+        }
+        prop_assert!(q.is_empty());
+        prop_assert!(q.occupied_bits().abs() < 1e-6);
+    }
+}

@@ -1,0 +1,55 @@
+//! Physical constants for Earth (WGS84) and two-body dynamics.
+
+/// Earth gravitational parameter, m^3/s^2 (WGS84).
+pub const EARTH_MU: f64 = 3.986_004_418e14;
+
+/// Earth equatorial radius, m (WGS84 semi-major axis).
+pub const EARTH_RADIUS_EQ: f64 = 6_378_137.0;
+
+/// Earth polar radius, m (WGS84 semi-minor axis).
+pub const EARTH_RADIUS_POLAR: f64 = 6_356_752.314_245;
+
+/// Earth mean radius, m (IUGG).
+pub const EARTH_RADIUS_MEAN: f64 = 6_371_008.8;
+
+/// WGS84 flattening.
+pub const EARTH_FLATTENING: f64 = 1.0 / 298.257_223_563;
+
+/// WGS84 first eccentricity squared.
+pub const EARTH_E2: f64 = EARTH_FLATTENING * (2.0 - EARTH_FLATTENING);
+
+/// Earth J2 zonal harmonic coefficient (oblateness).
+pub const EARTH_J2: f64 = 1.082_626_68e-3;
+
+/// Earth sidereal rotation rate, rad/s.
+pub const EARTH_ROTATION_RATE: f64 = 7.292_115_146_706_979e-5;
+
+/// Mean solar day, s.
+pub const SOLAR_DAY: f64 = 86_400.0;
+
+/// Tropical year, days. Used for sun-synchronous orbit design.
+pub const TROPICAL_YEAR_DAYS: f64 = 365.242_19;
+
+/// Required nodal regression rate for a sun-synchronous orbit, rad/s
+/// (360 degrees per tropical year, eastward).
+pub fn sun_synchronous_node_rate() -> f64 {
+    2.0 * std::f64::consts::PI / (TROPICAL_YEAR_DAYS * SOLAR_DAY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eccentricity_consistent_with_flattening() {
+        let e2 = 1.0 - (EARTH_RADIUS_POLAR / EARTH_RADIUS_EQ).powi(2);
+        assert!((e2 - EARTH_E2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sun_sync_rate_close_to_published_value() {
+        // ~1.991e-7 rad/s in the astrodynamics literature.
+        let rate = sun_synchronous_node_rate();
+        assert!((rate - 1.991e-7).abs() < 1e-9, "rate = {rate}");
+    }
+}

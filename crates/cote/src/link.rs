@@ -1,0 +1,253 @@
+//! Contact windows and downlink capacity.
+//!
+//! A contact window is a maximal interval during which a satellite is above
+//! a ground station's elevation mask. Windows are found by coarse time
+//! stepping followed by bisection refinement of the rise and set edges.
+
+use crate::ground::{GroundSegment, GroundStation};
+use crate::orbit::Orbit;
+use crate::propagate::position_ecef;
+use crate::time::{Duration, Epoch};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single satellite-to-station contact opportunity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContactWindow {
+    /// Index of the station within the ground segment that produced this
+    /// window.
+    pub station: usize,
+    /// Rise time (first instant above the mask).
+    pub start: Epoch,
+    /// Set time (last instant above the mask).
+    pub end: Epoch,
+    /// Sustained downlink rate during the pass, bits/second.
+    pub rate_bps: f64,
+}
+
+impl ContactWindow {
+    /// Pass duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Total bits that can be downlinked during this pass at the sustained
+    /// rate.
+    pub fn capacity_bits(&self) -> f64 {
+        self.duration().as_seconds() * self.rate_bps
+    }
+
+    /// True if `epoch` falls within the window.
+    pub fn contains(&self, epoch: Epoch) -> bool {
+        epoch >= self.start && epoch <= self.end
+    }
+}
+
+impl fmt::Display for ContactWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "contact(station {}, {} for {})",
+            self.station,
+            self.start,
+            self.duration()
+        )
+    }
+}
+
+/// Coarse step in seconds used when scanning for visibility transitions. A
+/// LEO pass lasts several minutes, so 10 s cannot skip over one entirely —
+/// except grazing passes, which contribute negligible capacity.
+const SCAN_STEP_SECONDS: f64 = 10.0;
+
+/// Computes all contact windows between one satellite and every station of
+/// a ground segment over `[orbit.epoch(), orbit.epoch() + horizon]`.
+///
+/// Windows are returned sorted by start time. Edges are refined to ~100 ms
+/// by bisection.
+pub fn contact_windows(
+    orbit: &Orbit,
+    segment: &GroundSegment,
+    horizon: Duration,
+) -> Vec<ContactWindow> {
+    let mut windows = Vec::new();
+    for (idx, station) in segment.iter().enumerate() {
+        windows.extend(station_windows(orbit, station, idx, horizon));
+    }
+    windows.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("epochs are finite"));
+    windows
+}
+
+fn station_windows(
+    orbit: &Orbit,
+    station: &GroundStation,
+    station_idx: usize,
+    horizon: Duration,
+) -> Vec<ContactWindow> {
+    let t0 = orbit.epoch();
+    let t_end = t0 + horizon;
+    let visible = |t: Epoch| station.sees(position_ecef(orbit, t));
+
+    let mut windows = Vec::new();
+    let mut t = t0;
+    let mut was_visible = visible(t);
+    let mut rise = if was_visible { Some(t) } else { None };
+
+    let step = Duration::from_seconds(SCAN_STEP_SECONDS);
+    while t < t_end {
+        let stepped = t + step;
+        let t_next = if stepped < t_end { stepped } else { t_end };
+        let now_visible = visible(t_next);
+        if now_visible != was_visible {
+            let edge = bisect_transition(&visible, t, t_next);
+            if now_visible {
+                rise = Some(edge);
+            } else if let Some(r) = rise.take() {
+                push_window(&mut windows, station_idx, station, r, edge);
+            }
+            was_visible = now_visible;
+        }
+        t = t_next;
+    }
+    if let Some(r) = rise {
+        push_window(&mut windows, station_idx, station, r, t_end);
+    }
+    windows
+}
+
+fn push_window(
+    windows: &mut Vec<ContactWindow>,
+    station_idx: usize,
+    station: &GroundStation,
+    start: Epoch,
+    end: Epoch,
+) {
+    // Discard degenerate grazing passes shorter than a second.
+    if (end - start).as_seconds() >= 1.0 {
+        windows.push(ContactWindow {
+            station: station_idx,
+            start,
+            end,
+            rate_bps: station.downlink_rate_bps(),
+        });
+    }
+}
+
+/// Bisects a visibility transition within `(lo, hi)` down to 100 ms.
+fn bisect_transition(visible: &impl Fn(Epoch) -> bool, lo: Epoch, hi: Epoch) -> Epoch {
+    let mut lo = lo;
+    let mut hi = hi;
+    let lo_state = visible(lo);
+    while (hi - lo).as_seconds() > 0.1 {
+        let mid = lo + (hi - lo) * 0.5;
+        if visible(mid) == lo_state {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Total downlink capacity (bits) of a set of windows.
+pub fn total_capacity_bits(windows: &[ContactWindow]) -> f64 {
+    windows.iter().map(ContactWindow::capacity_bits).sum()
+}
+
+/// Total contact time of a set of windows.
+pub fn total_contact_time(windows: &[ContactWindow]) -> Duration {
+    windows
+        .iter()
+        .fold(Duration::ZERO, |acc, w| acc + w.duration())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::GroundSegment;
+
+    fn landsat_day_windows() -> Vec<ContactWindow> {
+        let orbit = Orbit::sun_synchronous(705_000.0);
+        contact_windows(&orbit, &GroundSegment::landsat(), Duration::from_hours(24.0))
+    }
+
+    #[test]
+    fn polar_orbit_contacts_polar_stations_often() {
+        let windows = landsat_day_windows();
+        // Svalbard (station 2) sees a polar orbiter on most of its ~14.5
+        // revolutions per day.
+        let svalbard = windows.iter().filter(|w| w.station == 2).count();
+        assert!(
+            (8..=16).contains(&svalbard),
+            "Svalbard passes per day = {svalbard}"
+        );
+    }
+
+    #[test]
+    fn pass_durations_are_leo_scale() {
+        let windows = landsat_day_windows();
+        assert!(!windows.is_empty());
+        for w in &windows {
+            let mins = w.duration().as_minutes();
+            assert!(
+                (0.0..=16.0).contains(&mins),
+                "pass duration {mins} min is not LEO-scale"
+            );
+        }
+    }
+
+    #[test]
+    fn windows_sorted_and_within_horizon() {
+        let orbit = Orbit::sun_synchronous(705_000.0);
+        let horizon = Duration::from_hours(24.0);
+        let windows = contact_windows(&orbit, &GroundSegment::landsat(), horizon);
+        let t0 = orbit.epoch();
+        for pair in windows.windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+        for w in &windows {
+            assert!(w.start >= t0);
+            assert!(w.end <= t0 + horizon + Duration::from_seconds(1.0));
+            assert!(w.end > w.start);
+        }
+    }
+
+    #[test]
+    fn daily_contact_time_is_tens_of_minutes() {
+        let windows = landsat_day_windows();
+        let total = total_contact_time(&windows);
+        // Five stations, a handful of passes each, minutes per pass.
+        assert!(
+            (20.0..=500.0).contains(&total.as_minutes()),
+            "total contact = {total}"
+        );
+    }
+
+    #[test]
+    fn capacity_is_rate_times_duration() {
+        let windows = landsat_day_windows();
+        let w = &windows[0];
+        assert!((w.capacity_bits() - w.duration().as_seconds() * w.rate_bps).abs() < 1.0);
+        assert!(total_capacity_bits(&windows) > 0.0);
+    }
+
+    #[test]
+    fn contains_respects_bounds() {
+        let windows = landsat_day_windows();
+        let w = &windows[0];
+        assert!(w.contains(w.start));
+        assert!(w.contains(w.end));
+        assert!(!w.contains(w.end + Duration::from_seconds(5.0)));
+    }
+
+    #[test]
+    fn equatorial_station_and_polar_orbit_still_meet() {
+        let orbit = Orbit::sun_synchronous(705_000.0);
+        let seg = GroundSegment::single(crate::ground::GroundStation::new(
+            "Equator", 0.0, 0.0, 5.0, 1e8,
+        ));
+        let windows = contact_windows(&orbit, &seg, Duration::from_days(2.0));
+        // An equatorial station sees a polar LEO a couple of times per day.
+        assert!(!windows.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Physical-layer link budgets: elevation-dependent achievable rates.
+//!
+//! The base simulator treats a pass as a constant-rate pipe. This module
+//! refines that with a textbook RF link budget: achievable data rate
+//! follows from EIRP, free-space path loss over the slant range, receiver
+//! G/T and the required Eb/N0, capped by the modem's maximum rate. Low
+//! passes (long slant ranges) close the link at a lower rate than
+//! overhead passes — the effect that makes a ground segment's *geometry*
+//! matter beyond its contact minutes.
+
+use crate::bodies::EARTH_RADIUS_MEAN;
+use serde::{Deserialize, Serialize};
+
+/// Boltzmann's constant in decibel form, dBW/(K·Hz).
+pub const BOLTZMANN_DBW: f64 = -228.6;
+
+/// A space-to-ground radio link model.
+///
+/// # Example
+///
+/// ```
+/// use kodan_cote::link_budget::RadioLink;
+/// let link = RadioLink::landsat_x_band();
+/// let low = link.achievable_rate_bps(10f64.to_radians(), 705_000.0);
+/// let high = link.achievable_rate_bps(80f64.to_radians(), 705_000.0);
+/// assert!(high >= low);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioLink {
+    /// Satellite effective isotropic radiated power, dBW.
+    pub eirp_dbw: f64,
+    /// Carrier frequency, Hz.
+    pub frequency_hz: f64,
+    /// Ground-station figure of merit G/T, dB/K.
+    pub station_g_over_t_db: f64,
+    /// Required Eb/N0 including implementation margin, dB.
+    pub required_eb_n0_db: f64,
+    /// Modem/allocation rate cap, bits/s.
+    pub max_rate_bps: f64,
+}
+
+impl RadioLink {
+    /// A Landsat-class X-band downlink: 8.2 GHz, 384 Mb/s cap, with RF
+    /// parameters placing the rate knee around 15-20 degrees elevation.
+    pub fn landsat_x_band() -> RadioLink {
+        RadioLink {
+            eirp_dbw: 12.0,
+            frequency_hz: 8.2e9,
+            station_g_over_t_db: 22.0,
+            required_eb_n0_db: 4.4,
+            max_rate_bps: 384.0e6,
+        }
+    }
+
+    /// A cubesat S-band downlink: 2.2 GHz, 10 Mb/s cap, modest EIRP.
+    pub fn cubesat_s_band() -> RadioLink {
+        RadioLink {
+            eirp_dbw: 3.0,
+            frequency_hz: 2.2e9,
+            station_g_over_t_db: 15.0,
+            required_eb_n0_db: 4.4,
+            max_rate_bps: 10.0e6,
+        }
+    }
+
+    /// Slant range in meters from a ground station to a satellite at
+    /// `altitude_m`, seen at elevation `elevation_rad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the elevation is outside `[0, pi/2]`.
+    pub fn slant_range_m(elevation_rad: f64, altitude_m: f64) -> f64 {
+        assert!(
+            (0.0..=std::f64::consts::FRAC_PI_2 + 1e-9).contains(&elevation_rad),
+            "elevation must be in [0, pi/2]"
+        );
+        let re = EARTH_RADIUS_MEAN;
+        let r_orbit = re + altitude_m;
+        let cos_e = elevation_rad.cos();
+        let sin_e = elevation_rad.sin();
+        (r_orbit * r_orbit - (re * cos_e).powi(2)).sqrt() - re * sin_e
+    }
+
+    /// Free-space path loss in dB over `range_m` at this link's
+    /// frequency.
+    pub fn free_space_path_loss_db(&self, range_m: f64) -> f64 {
+        20.0 * (range_m).log10() + 20.0 * self.frequency_hz.log10() - 147.55
+    }
+
+    /// Achievable information rate at an elevation, bits/s, capped by the
+    /// modem rate. Returns 0 when the link cannot close.
+    pub fn achievable_rate_bps(&self, elevation_rad: f64, altitude_m: f64) -> f64 {
+        if elevation_rad <= 0.0 {
+            return 0.0;
+        }
+        let range = RadioLink::slant_range_m(elevation_rad, altitude_m);
+        let fspl = self.free_space_path_loss_db(range);
+        let rate_db_hz = self.eirp_dbw + self.station_g_over_t_db - fspl
+            - BOLTZMANN_DBW
+            - self.required_eb_n0_db;
+        let rate = 10f64.powf(rate_db_hz / 10.0);
+        rate.min(self.max_rate_bps)
+    }
+
+    /// Integrates capacity over a pass described by a sequence of
+    /// `(elevation_rad, dwell_seconds)` samples.
+    pub fn pass_capacity_bits<I>(&self, samples: I, altitude_m: f64) -> f64
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        samples
+            .into_iter()
+            .map(|(el, dt)| self.achievable_rate_bps(el.max(0.0), altitude_m) * dt)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slant_range_geometry() {
+        // Straight overhead: range equals altitude.
+        let overhead = RadioLink::slant_range_m(std::f64::consts::FRAC_PI_2, 705_000.0);
+        assert!((overhead - 705_000.0).abs() < 1.0);
+        // At the horizon the range is much longer.
+        let horizon = RadioLink::slant_range_m(0.0, 705_000.0);
+        assert!(horizon > 2_500_000.0, "horizon range {horizon}");
+        // Monotone decreasing with elevation.
+        let mut prev = horizon;
+        for deg in (5..=90).step_by(5) {
+            let r = RadioLink::slant_range_m((deg as f64).to_radians(), 705_000.0);
+            assert!(r < prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn fspl_grows_with_range_and_frequency() {
+        let link = RadioLink::landsat_x_band();
+        assert!(link.free_space_path_loss_db(2e6) > link.free_space_path_loss_db(1e6));
+        let s_band = RadioLink::cubesat_s_band();
+        assert!(
+            link.free_space_path_loss_db(1e6) > s_band.free_space_path_loss_db(1e6),
+            "X band should lose more than S band over the same range"
+        );
+    }
+
+    #[test]
+    fn fspl_magnitude_is_textbook() {
+        // 8.2 GHz over 1000 km is about 170.7 dB.
+        let link = RadioLink::landsat_x_band();
+        let fspl = link.free_space_path_loss_db(1.0e6);
+        assert!((fspl - 170.7).abs() < 0.5, "fspl = {fspl}");
+    }
+
+    #[test]
+    fn rate_is_monotone_in_elevation_and_capped() {
+        let link = RadioLink::landsat_x_band();
+        let mut prev = 0.0;
+        for deg in 1..=90 {
+            let rate = link.achievable_rate_bps((deg as f64).to_radians(), 705_000.0);
+            assert!(rate >= prev - 1e-6, "rate dipped at {deg} deg");
+            assert!(rate <= link.max_rate_bps + 1e-6);
+            prev = rate;
+        }
+        // High passes reach the modem cap.
+        assert!(
+            (link.achievable_rate_bps(80f64.to_radians(), 705_000.0) - link.max_rate_bps)
+                .abs()
+                < 1.0
+        );
+    }
+
+    #[test]
+    fn low_elevation_passes_lose_rate() {
+        let link = RadioLink::landsat_x_band();
+        let low = link.achievable_rate_bps(5f64.to_radians(), 705_000.0);
+        assert!(
+            low < link.max_rate_bps,
+            "5-degree rate {low} should be below the cap"
+        );
+        assert!(low > 0.0);
+    }
+
+    #[test]
+    fn pass_capacity_integrates_samples() {
+        let link = RadioLink::landsat_x_band();
+        // A symmetric pass rising to 30 degrees.
+        let samples = [(5.0f64, 60.0), (15.0, 60.0), (30.0, 60.0), (15.0, 60.0), (5.0, 60.0)];
+        let bits = link.pass_capacity_bits(
+            samples.iter().map(|&(d, t)| (d.to_radians(), t)),
+            705_000.0,
+        );
+        assert!(bits > 0.0);
+        assert!(bits <= link.max_rate_bps * 300.0);
+    }
+
+    #[test]
+    fn zero_elevation_cannot_close() {
+        let link = RadioLink::cubesat_s_band();
+        assert_eq!(link.achievable_rate_bps(0.0, 500_000.0), 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Day-scale space-segment simulation with ground-station contention.
+//!
+//! This module answers the space-networking questions behind the paper's
+//! motivation figures: how many frames does a constellation *observe*, and
+//! how many can it *downlink*, as the ground segment saturates?
+//!
+//! Each ground station serves one satellite at a time. Overlapping contact
+//! windows are resolved first-come-first-served: a satellite keeps a
+//! station until its pass ends, and later arrivals get whatever remains of
+//! their own window. As constellation population grows, stations approach
+//! 100 % utilization and total downlinked data saturates — the paper's
+//! *downlink bottleneck* (Figure 2).
+
+use crate::constellation::Constellation;
+use crate::ground::GroundSegment;
+use crate::link::{contact_windows, ContactWindow};
+use crate::sensor::Imager;
+use crate::time::{Duration, Epoch};
+use serde::{Deserialize, Serialize};
+
+/// A contention-resolved downlink pass: the interval a station actually
+/// spends serving one satellite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServedPass {
+    /// Satellite index within the constellation.
+    pub satellite: usize,
+    /// Station index within the ground segment.
+    pub station: usize,
+    /// Service start (>= geometric rise time).
+    pub start: Epoch,
+    /// Service end.
+    pub end: Epoch,
+    /// Sustained rate during service, bits/second.
+    pub rate_bps: f64,
+}
+
+impl ServedPass {
+    /// Service duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Bits deliverable during this pass.
+    pub fn bits(&self) -> f64 {
+        self.duration().as_seconds() * self.rate_bps
+    }
+}
+
+/// Aggregate result of a space-segment simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSegmentReport {
+    /// Simulation horizon.
+    pub horizon: Duration,
+    /// Frame deadline for the constellation's (shared) imager and orbit.
+    pub frame_deadline: Duration,
+    /// Frames observed per satellite over the horizon.
+    pub frames_seen_per_satellite: u64,
+    /// Total frames observed across the constellation.
+    pub frames_seen_total: u64,
+    /// Contention-resolved passes.
+    pub passes: Vec<ServedPass>,
+    /// Total downlink capacity across all passes, bits.
+    pub capacity_bits: f64,
+    /// Raw bits per frame for the imager.
+    pub frame_bits: f64,
+}
+
+impl SpaceSegmentReport {
+    /// Whole raw frames that fit into the downlink capacity.
+    pub fn frames_downlinkable(&self) -> u64 {
+        (self.capacity_bits / self.frame_bits).floor() as u64
+    }
+
+    /// Per-satellite downlink capacity in bits.
+    pub fn capacity_bits_for(&self, satellite: usize) -> f64 {
+        self.passes
+            .iter()
+            .filter(|p| p.satellite == satellite)
+            .map(ServedPass::bits)
+            .sum()
+    }
+
+    /// Fraction of observed frames that can be downlinked raw.
+    pub fn downlink_fraction(&self) -> f64 {
+        if self.frames_seen_total == 0 {
+            return 0.0;
+        }
+        (self.frames_downlinkable() as f64 / self.frames_seen_total as f64).min(1.0)
+    }
+}
+
+/// Simulates a constellation against a ground segment over `horizon`.
+///
+/// All satellites carry the same `imager`. Contact windows are computed per
+/// satellite, then merged per station with first-come-first-served
+/// contention resolution.
+pub fn simulate_space_segment(
+    constellation: &Constellation,
+    imager: &Imager,
+    segment: &GroundSegment,
+    horizon: Duration,
+) -> SpaceSegmentReport {
+    let orbits = constellation.orbits();
+    let frame_deadline = imager.frame_deadline(&orbits[0]);
+    let frames_seen_per_satellite = imager.frames_in(&orbits[0], horizon);
+
+    // Collect geometric windows across all satellites.
+    let mut geometric: Vec<(usize, ContactWindow)> = Vec::new();
+    for (sat_idx, orbit) in orbits.iter().enumerate() {
+        for w in contact_windows(orbit, segment, horizon) {
+            geometric.push((sat_idx, w));
+        }
+    }
+
+    let passes = resolve_contention(&mut geometric, segment.len());
+    let capacity_bits = passes.iter().map(ServedPass::bits).sum();
+
+    SpaceSegmentReport {
+        horizon,
+        frame_deadline,
+        frames_seen_per_satellite,
+        frames_seen_total: frames_seen_per_satellite * orbits.len() as u64,
+        passes,
+        capacity_bits,
+        frame_bits: imager.frame_bits(),
+    }
+}
+
+/// First-come-first-served allocation of station time to satellites.
+///
+/// Windows are sorted by rise time per station. Each window is served from
+/// `max(rise, station_free_at)` to its set time; windows fully shadowed by
+/// an earlier pass are dropped.
+fn resolve_contention(
+    geometric: &mut [(usize, ContactWindow)],
+    station_count: usize,
+) -> Vec<ServedPass> {
+    geometric.sort_by(|a, b| {
+        a.1.start
+            .partial_cmp(&b.1.start)
+            .expect("epochs are finite")
+    });
+    let mut free_at: Vec<Option<Epoch>> = vec![None; station_count];
+    let mut passes = Vec::new();
+    for (sat, window) in geometric.iter() {
+        let station = window.station;
+        let start = match free_at[station] {
+            Some(t) if t > window.start => t,
+            _ => window.start,
+        };
+        if start < window.end {
+            passes.push(ServedPass {
+                satellite: *sat,
+                station,
+                start,
+                end: window.end,
+                rate_bps: window.rate_bps,
+            });
+            free_at[station] = Some(window.end);
+        }
+    }
+    passes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orbit::Orbit;
+
+    fn landsat_report(sats: usize, hours: f64) -> SpaceSegmentReport {
+        let constellation =
+            Constellation::same_plane(Orbit::sun_synchronous(705_000.0), sats);
+        simulate_space_segment(
+            &constellation,
+            &Imager::landsat_oli(),
+            &GroundSegment::landsat(),
+            Duration::from_hours(hours),
+        )
+    }
+
+    #[test]
+    fn single_satellite_downlinks_small_fraction() {
+        let report = landsat_report(1, 24.0);
+        assert!(report.frames_seen_total > 3000);
+        // The paper: the ground segment receives only a few percent of
+        // observations for Landsat-class frames.
+        let frac = report.downlink_fraction();
+        assert!(frac > 0.0 && frac < 0.25, "downlink fraction = {frac}");
+    }
+
+    #[test]
+    fn more_satellites_observe_proportionally_more() {
+        let r1 = landsat_report(1, 6.0);
+        let r4 = landsat_report(4, 6.0);
+        assert_eq!(r4.frames_seen_total, 4 * r1.frames_seen_total);
+    }
+
+    #[test]
+    fn capacity_grows_then_saturates() {
+        let caps: Vec<f64> = [1usize, 4, 16, 48]
+            .iter()
+            .map(|&n| landsat_report(n, 6.0).capacity_bits)
+            .collect();
+        // Monotone non-decreasing...
+        for pair in caps.windows(2) {
+            assert!(pair[1] >= pair[0] * 0.99, "capacity decreased: {caps:?}");
+        }
+        // ...with diminishing returns: the 16->48 jump is proportionally far
+        // smaller than the 1->4 jump.
+        let early_gain = caps[1] / caps[0];
+        let late_gain = caps[3] / caps[2];
+        assert!(
+            late_gain < early_gain,
+            "no saturation: early x{early_gain:.2}, late x{late_gain:.2}"
+        );
+    }
+
+    #[test]
+    fn stations_never_serve_two_satellites_at_once() {
+        let report = landsat_report(8, 6.0);
+        for station in 0..GroundSegment::landsat().len() {
+            let mut intervals: Vec<(f64, f64)> = report
+                .passes
+                .iter()
+                .filter(|p| p.station == station)
+                .map(|p| {
+                    (
+                        p.start.seconds_since_start(),
+                        p.end.seconds_since_start(),
+                    )
+                })
+                .collect();
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for pair in intervals.windows(2) {
+                assert!(
+                    pair[1].0 >= pair[0].1 - 1e-6,
+                    "station {station} double-booked: {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_satellite_capacity_sums_to_total() {
+        let report = landsat_report(4, 6.0);
+        let sum: f64 = (0..4).map(|s| report.capacity_bits_for(s)).sum();
+        assert!((sum - report.capacity_bits).abs() < 1.0);
+    }
+
+    #[test]
+    fn served_passes_are_within_geometry() {
+        let report = landsat_report(2, 6.0);
+        for p in &report.passes {
+            assert!(p.end > p.start);
+            assert!(p.rate_bps > 0.0);
+            assert!(p.bits() > 0.0);
+        }
+    }
+}

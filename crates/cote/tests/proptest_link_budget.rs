@@ -1,0 +1,73 @@
+//! Property-based tests for the RF link budget: geometric and monotone
+//! invariants over the whole elevation/altitude domain.
+
+use kodan_cote::link_budget::RadioLink;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn slant_range_bounded_by_geometry(
+        elevation_deg in 0.0f64..90.0,
+        altitude in 200_000.0f64..2_000_000.0,
+    ) {
+        let range = RadioLink::slant_range_m(elevation_deg.to_radians(), altitude);
+        // Never shorter than the altitude, never longer than the horizon
+        // chord.
+        prop_assert!(range >= altitude - 1.0, "range {} < altitude {}", range, altitude);
+        let horizon = RadioLink::slant_range_m(0.0, altitude);
+        prop_assert!(range <= horizon + 1.0);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_elevation(
+        altitude in 200_000.0f64..2_000_000.0,
+        e1 in 1.0f64..89.0,
+        e2 in 1.0f64..89.0,
+    ) {
+        let link = RadioLink::landsat_x_band();
+        let r1 = link.achievable_rate_bps(e1.to_radians(), altitude);
+        let r2 = link.achievable_rate_bps(e2.to_radians(), altitude);
+        if e1 < e2 {
+            prop_assert!(r1 <= r2 + 1e-6);
+        }
+        prop_assert!(r1 >= 0.0 && r1 <= link.max_rate_bps + 1e-6);
+    }
+
+    #[test]
+    fn lower_altitude_never_hurts_the_link(
+        elevation_deg in 5.0f64..90.0,
+        alt_low in 200_000.0f64..800_000.0,
+        extra in 10_000.0f64..1_000_000.0,
+    ) {
+        let link = RadioLink::cubesat_s_band();
+        let low = link.achievable_rate_bps(elevation_deg.to_radians(), alt_low);
+        let high = link.achievable_rate_bps(elevation_deg.to_radians(), alt_low + extra);
+        prop_assert!(low >= high - 1e-6, "closer satellite got a worse link");
+    }
+
+    #[test]
+    fn pass_capacity_is_additive_and_bounded(
+        samples in prop::collection::vec((1.0f64..89.0, 1.0f64..120.0), 1..20),
+    ) {
+        let link = RadioLink::landsat_x_band();
+        let altitude = 705_000.0;
+        let total_time: f64 = samples.iter().map(|&(_, dt)| dt).sum();
+        let bits = link.pass_capacity_bits(
+            samples.iter().map(|&(deg, dt)| (deg.to_radians(), dt)),
+            altitude,
+        );
+        prop_assert!(bits >= 0.0);
+        prop_assert!(bits <= link.max_rate_bps * total_time + 1e-3);
+        // Splitting the samples changes nothing.
+        let half = samples.len() / 2;
+        let a = link.pass_capacity_bits(
+            samples[..half].iter().map(|&(deg, dt)| (deg.to_radians(), dt)),
+            altitude,
+        );
+        let b = link.pass_capacity_bits(
+            samples[half..].iter().map(|&(deg, dt)| (deg.to_radians(), dt)),
+            altitude,
+        );
+        prop_assert!((a + b - bits).abs() < 1e-3);
+    }
+}

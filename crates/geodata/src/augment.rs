@@ -1,0 +1,183 @@
+//! Training-time data augmentation.
+//!
+//! The paper's methodology section: "During training, we apply data
+//! augmentation to improve accuracy and avoid over-fitting." For
+//! satellite imagery the natural invariances are the dihedral flips
+//! (a scene is equally valid mirrored or transposed — orbits ascend and
+//! descend) and small radiometric perturbations (sensor gain/offset
+//! drift between instruments).
+
+use crate::pixel::CHANNELS;
+use crate::tile::TileImage;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// A geometric/radiometric augmentation of a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Augmentation {
+    /// Mirror left-right.
+    FlipHorizontal,
+    /// Mirror top-bottom.
+    FlipVertical,
+    /// Transpose rows and columns.
+    Transpose,
+    /// Per-channel multiplicative gain and additive offset.
+    RadiometricJitter {
+        /// Multiplicative gain applied to every channel.
+        gain: f64,
+        /// Additive offset applied to every channel.
+        offset: f64,
+    },
+}
+
+impl Augmentation {
+    /// Applies this augmentation to a tile, producing a new tile with
+    /// consistently transformed pixels and truth mask.
+    pub fn apply(&self, tile: &TileImage) -> TileImage {
+        let size = tile.size();
+        match self {
+            Augmentation::FlipHorizontal => {
+                remap(tile, |r, c| (r, size - 1 - c))
+            }
+            Augmentation::FlipVertical => {
+                remap(tile, |r, c| (size - 1 - r, c))
+            }
+            Augmentation::Transpose => remap(tile, |r, c| (c, r)),
+            Augmentation::RadiometricJitter { gain, offset } => {
+                let channels: Vec<f32> = tile
+                    .channels()
+                    .iter()
+                    .map(|&v| ((f64::from(v) * gain + offset).clamp(0.0, 1.0)) as f32)
+                    .collect();
+                tile.with_channels(channels)
+            }
+        }
+    }
+}
+
+/// Builds a tile whose pixel at `(r, c)` comes from `src(r, c)` in the
+/// original.
+fn remap(tile: &TileImage, src: impl Fn(usize, usize) -> (usize, usize)) -> TileImage {
+    let size = tile.size();
+    let mut channels = vec![0.0f32; size * size * CHANNELS];
+    let mut truth = vec![false; size * size];
+    for r in 0..size {
+        for c in 0..size {
+            let (sr, sc) = src(r, c);
+            let dst = r * size + c;
+            let s = sr * size + sc;
+            channels[dst * CHANNELS..(dst + 1) * CHANNELS]
+                .copy_from_slice(&tile.channels()[s * CHANNELS..(s + 1) * CHANNELS]);
+            truth[dst] = tile.truth_cloudy()[s];
+        }
+    }
+    tile.with_channels_and_truth(channels, truth)
+}
+
+/// Generates augmented variants of a tile set: for each source tile a
+/// deterministic, seed-driven choice of one geometric flip and one
+/// radiometric jitter.
+///
+/// Returns only the new tiles; callers typically chain them after the
+/// originals.
+pub fn augment_tiles(tiles: &[TileImage], seed: u64) -> Vec<TileImage> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xA06);
+    let mut out = Vec::with_capacity(tiles.len() * 2);
+    for tile in tiles {
+        let geometric = match rng.random_range(0..3) {
+            0 => Augmentation::FlipHorizontal,
+            1 => Augmentation::FlipVertical,
+            _ => Augmentation::Transpose,
+        };
+        out.push(geometric.apply(tile));
+        let jitter = Augmentation::RadiometricJitter {
+            gain: rng.random_range(0.95..1.05),
+            offset: rng.random_range(-0.02..0.02),
+        };
+        out.push(jitter.apply(tile));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::World;
+    use crate::tile::tile_frame;
+
+    fn tile() -> TileImage {
+        let frame = World::new(42).render_frame(20.0, 30.0, 0.0, 36, 150.0);
+        tile_frame(&frame, 3).swap_remove(4)
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let t = tile();
+        for aug in [
+            Augmentation::FlipHorizontal,
+            Augmentation::FlipVertical,
+            Augmentation::Transpose,
+        ] {
+            let twice = aug.apply(&aug.apply(&t));
+            assert_eq!(twice.channels(), t.channels(), "{aug:?}");
+            assert_eq!(twice.truth_cloudy(), t.truth_cloudy(), "{aug:?}");
+        }
+    }
+
+    #[test]
+    fn flips_preserve_label_statistics() {
+        let t = tile();
+        for aug in [
+            Augmentation::FlipHorizontal,
+            Augmentation::FlipVertical,
+            Augmentation::Transpose,
+        ] {
+            let a = aug.apply(&t);
+            assert!((a.cloud_fraction() - t.cloud_fraction()).abs() < 1e-12);
+            assert_eq!(a.surface_fractions(), t.surface_fractions());
+            assert_eq!(a.size(), t.size());
+        }
+    }
+
+    #[test]
+    fn horizontal_flip_mirrors_pixels() {
+        let t = tile();
+        let flipped = Augmentation::FlipHorizontal.apply(&t);
+        let size = t.size();
+        for r in 0..size {
+            for c in 0..size {
+                let orig = &t.channels()
+                    [(r * size + c) * CHANNELS..(r * size + c + 1) * CHANNELS];
+                let mirrored = &flipped.channels()[(r * size + (size - 1 - c)) * CHANNELS
+                    ..(r * size + (size - 1 - c) + 1) * CHANNELS];
+                assert_eq!(orig, mirrored);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_moves_radiometry_but_not_truth() {
+        let t = tile();
+        let jittered = Augmentation::RadiometricJitter {
+            gain: 1.04,
+            offset: 0.01,
+        }
+        .apply(&t);
+        assert_ne!(jittered.channels(), t.channels());
+        assert_eq!(jittered.truth_cloudy(), t.truth_cloudy());
+        for &v in jittered.channels() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn augment_tiles_doubles_the_set_twice_over() {
+        let tiles = vec![tile(), tile()];
+        let augmented = augment_tiles(&tiles, 7);
+        assert_eq!(augmented.len(), 4);
+        // Deterministic.
+        assert_eq!(augment_tiles(&tiles, 7), augmented);
+        assert_ne!(augment_tiles(&tiles, 8), augmented);
+    }
+}

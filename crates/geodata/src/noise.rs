@@ -1,0 +1,268 @@
+//! Seeded value noise and fractal Brownian motion.
+//!
+//! All procedural structure in the dataset — continents, biomes, cloud
+//! fields, sensor confusers — is driven by the noise in this module. The
+//! generator is a lattice value noise: pseudo-random values hashed from
+//! integer lattice coordinates, blended with a quintic smoothstep. Fractal
+//! Brownian motion (fBm) sums octaves of it for natural-looking structure
+//! with power at many spatial scales — which is exactly what gives cloud
+//! edges the fine detail that tiling decimation destroys.
+//!
+//! Determinism matters: the same `(seed, coordinates)` always produces the
+//! same field, so datasets are reproducible and tests are stable.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 — a small, high-quality 64-bit mixer used to hash lattice
+/// coordinates into pseudo-random values.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a set of integers (plus a seed) to a uniform `f64` in `[0, 1)`.
+#[inline]
+pub fn hash_to_unit(seed: u64, coords: &[i64]) -> f64 {
+    let mut h = splitmix64(seed);
+    for &c in coords {
+        h = splitmix64(h ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    // 53 mantissa bits -> [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Quintic smoothstep `6t^5 - 15t^4 + 10t^3`, C2-continuous at 0 and 1.
+#[inline]
+fn smooth(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+#[inline]
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// A seeded 3-D value-noise field over `(x, y, t)`.
+///
+/// The third axis is typically time (days), which gives cloud fields
+/// temporal evolution. For static fields (terrain), pass `t = 0`.
+///
+/// # Example
+///
+/// ```
+/// use kodan_geodata::noise::NoiseField;
+/// let n = NoiseField::new(42);
+/// let v = n.value(1.5, 2.5, 0.0);
+/// assert!((0.0..=1.0).contains(&v));
+/// assert_eq!(v, NoiseField::new(42).value(1.5, 2.5, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoiseField {
+    seed: u64,
+}
+
+impl NoiseField {
+    /// Creates a noise field with the given seed.
+    pub fn new(seed: u64) -> NoiseField {
+        NoiseField { seed }
+    }
+
+    /// The seed of this field.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Single-octave value noise at `(x, y, t)`, in `[0, 1]`.
+    pub fn value(&self, x: f64, y: f64, t: f64) -> f64 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let t0 = t.floor();
+        let fx = smooth(x - x0);
+        let fy = smooth(y - y0);
+        let ft = smooth(t - t0);
+        let (xi, yi, ti) = (x0 as i64, y0 as i64, t0 as i64);
+
+        let corner = |dx: i64, dy: i64, dt: i64| {
+            hash_to_unit(self.seed, &[xi + dx, yi + dy, ti + dt])
+        };
+
+        let c000 = corner(0, 0, 0);
+        let c100 = corner(1, 0, 0);
+        let c010 = corner(0, 1, 0);
+        let c110 = corner(1, 1, 0);
+        let c001 = corner(0, 0, 1);
+        let c101 = corner(1, 0, 1);
+        let c011 = corner(0, 1, 1);
+        let c111 = corner(1, 1, 1);
+
+        let x00 = lerp(c000, c100, fx);
+        let x10 = lerp(c010, c110, fx);
+        let x01 = lerp(c001, c101, fx);
+        let x11 = lerp(c011, c111, fx);
+        let y0v = lerp(x00, x10, fy);
+        let y1v = lerp(x01, x11, fy);
+        lerp(y0v, y1v, ft)
+    }
+
+    /// Fractal Brownian motion: `octaves` octaves of value noise with the
+    /// given `lacunarity` (frequency multiplier per octave) and `gain`
+    /// (amplitude multiplier per octave). Output is normalized to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octaves` is zero.
+    pub fn fbm(&self, x: f64, y: f64, t: f64, octaves: u32, lacunarity: f64, gain: f64) -> f64 {
+        assert!(octaves > 0, "fBm needs at least one octave");
+        let mut sum = 0.0;
+        let mut amplitude = 1.0;
+        let mut total_amplitude = 0.0;
+        let mut fx = x;
+        let mut fy = y;
+        let mut ft = t;
+        for octave in 0..octaves {
+            // Re-seed per octave so octaves are independent fields.
+            let field = NoiseField::new(self.seed.wrapping_add(u64::from(octave) * 0x9E37));
+            sum += amplitude * field.value(fx, fy, ft);
+            total_amplitude += amplitude;
+            amplitude *= gain;
+            fx *= lacunarity;
+            fy *= lacunarity;
+            ft *= lacunarity;
+        }
+        sum / total_amplitude
+    }
+
+    /// Standard 5-octave fBm with lacunarity 2 and gain 0.5 — the default
+    /// used for terrain and clouds.
+    pub fn fbm5(&self, x: f64, y: f64, t: f64) -> f64 {
+        self.fbm(x, y, t, 5, 2.0, 0.5)
+    }
+}
+
+/// White noise keyed by pixel coordinates: zero-mean, approximately
+/// Gaussian (sum of four uniforms), scaled by `sigma`. Used for sensor
+/// noise so that rendering needs no RNG state.
+pub fn pixel_noise(seed: u64, x: i64, y: i64, channel: usize, sigma: f64) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..4u64 {
+        acc += hash_to_unit(
+            seed ^ 0xC0FF_EE00u64.wrapping_add(k),
+            &[x, y, channel as i64],
+        );
+    }
+    // Sum of 4 uniforms: mean 2.0, variance 4/12. Normalize to ~N(0,1).
+    (acc - 2.0) / (1.0 / 3.0f64).sqrt() * sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_uniform_ish() {
+        let a = hash_to_unit(1, &[10, 20]);
+        let b = hash_to_unit(1, &[10, 20]);
+        assert_eq!(a, b);
+        assert!((0.0..1.0).contains(&a));
+
+        // Mean of many hashes should be near 0.5.
+        let mean: f64 = (0..10_000)
+            .map(|i| hash_to_unit(7, &[i, i * 3 + 1]))
+            .sum::<f64>()
+            / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let n1 = NoiseField::new(1);
+        let n2 = NoiseField::new(2);
+        let mut diffs = 0;
+        for i in 0..100 {
+            let x = i as f64 * 0.37;
+            if (n1.value(x, x, 0.0) - n2.value(x, x, 0.0)).abs() > 1e-6 {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 90);
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        let n = NoiseField::new(9);
+        let mut prev = n.value(0.0, 0.5, 0.0);
+        for i in 1..1000 {
+            let x = i as f64 * 0.001;
+            let v = n.value(x, 0.5, 0.0);
+            assert!((v - prev).abs() < 0.05, "jump at x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn noise_in_unit_range() {
+        let n = NoiseField::new(3);
+        for i in 0..500 {
+            let x = i as f64 * 0.173;
+            let v = n.fbm5(x, x * 0.7, 0.3);
+            assert!((0.0..=1.0).contains(&v), "fbm out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn fbm_adds_fine_structure() {
+        // fBm should vary on finer scales than a single octave: compare
+        // total variation along a transect.
+        let n = NoiseField::new(11);
+        let tv = |f: &dyn Fn(f64) -> f64| -> f64 {
+            let mut acc = 0.0;
+            let mut prev = f(0.0);
+            for i in 1..2000 {
+                let v = f(i as f64 * 0.005);
+                acc += (v - prev).abs();
+                prev = v;
+            }
+            acc
+        };
+        let single = tv(&|x| n.value(x, 0.0, 0.0));
+        let fractal = tv(&|x| n.fbm5(x, 0.0, 0.0));
+        assert!(
+            fractal > 1.2 * single,
+            "fbm TV {fractal} vs single-octave TV {single}"
+        );
+    }
+
+    #[test]
+    fn time_axis_evolves_field() {
+        let n = NoiseField::new(5);
+        let before = n.fbm5(3.3, 4.4, 0.0);
+        let after = n.fbm5(3.3, 4.4, 5.0);
+        assert!((before - after).abs() > 1e-6);
+    }
+
+    #[test]
+    fn pixel_noise_statistics() {
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        let count = 20_000;
+        for i in 0..count {
+            let v = pixel_noise(1, i, i * 7 + 3, 0, 0.05);
+            mean += v;
+            var += v * v;
+        }
+        mean /= count as f64;
+        var = var / count as f64 - mean * mean;
+        assert!(mean.abs() < 0.005, "mean = {mean}");
+        assert!((var.sqrt() - 0.05).abs() < 0.01, "sigma = {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "octave")]
+    fn fbm_rejects_zero_octaves() {
+        let _ = NoiseField::new(0).fbm(0.0, 0.0, 0.0, 0, 2.0, 0.5);
+    }
+}

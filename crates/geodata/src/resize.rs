@@ -1,0 +1,234 @@
+//! Image resizing: the decimation/interpolation pipeline.
+//!
+//! Frame tiling couples tile size to model input size (paper Figure 6):
+//! every tile is resized to the neural network's input resolution before
+//! inference. Tiles larger than the input are **decimated** by area
+//! averaging — fine cloud-edge structure is destroyed. Tiles smaller than
+//! the input are **interpolated** bilinearly — no information is added,
+//! and local texture flattens out. Both effects degrade the features the
+//! classifier relies on, producing the interior optimum in tile count
+//! that Section 5.4 of the paper reports.
+
+/// Resizes an interleaved multi-channel image from `src_size` x `src_size`
+/// to `dst_size` x `dst_size`.
+///
+/// Downscaling uses exact area averaging; upscaling uses bilinear
+/// interpolation; equal sizes return a copy.
+///
+/// # Panics
+///
+/// Panics if sizes are zero or the buffer length does not match
+/// `src_size * src_size * channels`.
+pub fn resize_channels(
+    src: &[f32],
+    src_size: usize,
+    channels: usize,
+    dst_size: usize,
+) -> Vec<f32> {
+    assert!(src_size > 0 && dst_size > 0, "image sizes must be positive");
+    assert_eq!(
+        src.len(),
+        src_size * src_size * channels,
+        "buffer length mismatch"
+    );
+    if dst_size == src_size {
+        return src.to_vec();
+    }
+    if dst_size < src_size {
+        area_average(src, src_size, channels, dst_size)
+    } else {
+        bilinear(src, src_size, channels, dst_size)
+    }
+}
+
+/// Area-average downscale: each destination pixel integrates the exact
+/// (possibly fractional) source region it covers.
+fn area_average(src: &[f32], src_size: usize, channels: usize, dst_size: usize) -> Vec<f32> {
+    let scale = src_size as f64 / dst_size as f64;
+    let mut out = vec![0.0f32; dst_size * dst_size * channels];
+    for dr in 0..dst_size {
+        let r0 = dr as f64 * scale;
+        let r1 = (dr + 1) as f64 * scale;
+        for dc in 0..dst_size {
+            let c0 = dc as f64 * scale;
+            let c1 = (dc + 1) as f64 * scale;
+            let mut acc = vec![0.0f64; channels];
+            let mut area = 0.0f64;
+            let mut sr = r0.floor() as usize;
+            while (sr as f64) < r1 && sr < src_size {
+                let row_overlap = (r1.min((sr + 1) as f64) - r0.max(sr as f64)).max(0.0);
+                let mut sc = c0.floor() as usize;
+                while (sc as f64) < c1 && sc < src_size {
+                    let col_overlap = (c1.min((sc + 1) as f64) - c0.max(sc as f64)).max(0.0);
+                    let w = row_overlap * col_overlap;
+                    let base = (sr * src_size + sc) * channels;
+                    for ch in 0..channels {
+                        acc[ch] += f64::from(src[base + ch]) * w;
+                    }
+                    area += w;
+                    sc += 1;
+                }
+                sr += 1;
+            }
+            let base = (dr * dst_size + dc) * channels;
+            for ch in 0..channels {
+                out[base + ch] = (acc[ch] / area) as f32;
+            }
+        }
+    }
+    out
+}
+
+/// Bilinear upscale with half-pixel centers.
+fn bilinear(src: &[f32], src_size: usize, channels: usize, dst_size: usize) -> Vec<f32> {
+    let scale = src_size as f64 / dst_size as f64;
+    let mut out = vec![0.0f32; dst_size * dst_size * channels];
+    let max_idx = src_size - 1;
+    for dr in 0..dst_size {
+        let sy = ((dr as f64 + 0.5) * scale - 0.5).clamp(0.0, max_idx as f64);
+        let y0 = sy.floor() as usize;
+        let y1 = (y0 + 1).min(max_idx);
+        let fy = sy - y0 as f64;
+        for dc in 0..dst_size {
+            let sx = ((dc as f64 + 0.5) * scale - 0.5).clamp(0.0, max_idx as f64);
+            let x0 = sx.floor() as usize;
+            let x1 = (x0 + 1).min(max_idx);
+            let fx = sx - x0 as f64;
+            let base = (dr * dst_size + dc) * channels;
+            for ch in 0..channels {
+                let v00 = f64::from(src[(y0 * src_size + x0) * channels + ch]);
+                let v10 = f64::from(src[(y0 * src_size + x1) * channels + ch]);
+                let v01 = f64::from(src[(y1 * src_size + x0) * channels + ch]);
+                let v11 = f64::from(src[(y1 * src_size + x1) * channels + ch]);
+                let top = v00 + (v10 - v00) * fx;
+                let bot = v01 + (v11 - v01) * fx;
+                out[base + ch] = (top + (bot - top) * fy) as f32;
+            }
+        }
+    }
+    out
+}
+
+/// Resizes a boolean mask with nearest-neighbor sampling. Used to carry
+/// predictions made at model input resolution back to a tile's native
+/// resolution (and truth masks the other way).
+///
+/// # Panics
+///
+/// Panics if sizes are zero or the mask length does not match.
+pub fn resize_mask(src: &[bool], src_size: usize, dst_size: usize) -> Vec<bool> {
+    assert!(src_size > 0 && dst_size > 0, "mask sizes must be positive");
+    assert_eq!(src.len(), src_size * src_size, "mask length mismatch");
+    if dst_size == src_size {
+        return src.to_vec();
+    }
+    let scale = src_size as f64 / dst_size as f64;
+    let mut out = vec![false; dst_size * dst_size];
+    for dr in 0..dst_size {
+        let sr = (((dr as f64 + 0.5) * scale) as usize).min(src_size - 1);
+        for dc in 0..dst_size {
+            let sc = (((dc as f64 + 0.5) * scale) as usize).min(src_size - 1);
+            out[dr * dst_size + dc] = src[sr * src_size + sc];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard(size: usize) -> Vec<f32> {
+        let mut v = vec![0.0f32; size * size];
+        for r in 0..size {
+            for c in 0..size {
+                v[r * size + c] = ((r + c) % 2) as f32;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn identity_resize_is_copy() {
+        let src = checkerboard(8);
+        assert_eq!(resize_channels(&src, 8, 1, 8), src);
+        let mask: Vec<bool> = src.iter().map(|&v| v > 0.5).collect();
+        assert_eq!(resize_mask(&mask, 8, 8), mask);
+    }
+
+    #[test]
+    fn downscale_preserves_mean() {
+        let src = checkerboard(16);
+        let dst = resize_channels(&src, 16, 1, 4);
+        let src_mean: f32 = src.iter().sum::<f32>() / src.len() as f32;
+        let dst_mean: f32 = dst.iter().sum::<f32>() / dst.len() as f32;
+        assert!((src_mean - dst_mean).abs() < 1e-5);
+    }
+
+    #[test]
+    fn downscale_destroys_checkerboard_contrast() {
+        // The decimation mechanism: a 2x2 checkerboard block averages to
+        // exactly 0.5 everywhere — all fine structure gone.
+        let src = checkerboard(16);
+        let dst = resize_channels(&src, 16, 1, 8);
+        for &v in &dst {
+            assert!((v - 0.5).abs() < 1e-6, "value {v}");
+        }
+    }
+
+    #[test]
+    fn upscale_flattens_local_texture() {
+        // Interpolated neighbors are highly correlated, so local variance
+        // shrinks relative to the source.
+        let src = checkerboard(8);
+        let dst = resize_channels(&src, 8, 1, 16);
+        let variance = |v: &[f32]| {
+            let m: f32 = v.iter().sum::<f32>() / v.len() as f32;
+            v.iter().map(|x| (x - m).powi(2)).sum::<f32>() / v.len() as f32
+        };
+        assert!(variance(&dst) < variance(&src));
+    }
+
+    #[test]
+    fn upscale_of_constant_is_constant() {
+        let src = vec![0.7f32; 6 * 6 * 3];
+        let dst = resize_channels(&src, 6, 3, 13);
+        for &v in &dst {
+            assert!((v - 0.7).abs() < 1e-6);
+        }
+        assert_eq!(dst.len(), 13 * 13 * 3);
+    }
+
+    #[test]
+    fn fractional_ratio_downscale_preserves_mean() {
+        // 33 -> 22 is the fractional case frame tiling hits in practice.
+        let src: Vec<f32> = (0..33 * 33).map(|i| (i % 7) as f32 / 6.0).collect();
+        let dst = resize_channels(&src, 33, 1, 22);
+        let src_mean: f32 = src.iter().sum::<f32>() / src.len() as f32;
+        let dst_mean: f32 = dst.iter().sum::<f32>() / dst.len() as f32;
+        assert!((src_mean - dst_mean).abs() < 2e-3);
+    }
+
+    #[test]
+    fn mask_round_trip_through_upscale_is_lossless() {
+        let mask: Vec<bool> = (0..12 * 12).map(|i| i % 3 == 0).collect();
+        let up = resize_mask(&mask, 12, 24);
+        let back = resize_mask(&up, 24, 12);
+        assert_eq!(back, mask);
+    }
+
+    #[test]
+    fn mask_downscale_samples_centers() {
+        let mut mask = vec![false; 4 * 4];
+        // Mark the block whose center lands at (1,1) region.
+        mask[1 * 4 + 1] = true;
+        let down = resize_mask(&mask, 4, 2);
+        assert!(down.iter().filter(|&&b| b).count() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_bad_buffer() {
+        let _ = resize_channels(&[0.0; 10], 4, 1, 2);
+    }
+}

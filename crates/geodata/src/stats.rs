@@ -1,0 +1,239 @@
+//! Dataset summary statistics.
+//!
+//! The paper characterizes its representative dataset (48 % high-value /
+//! 52 % cloudy); this module computes the equivalent summary for a
+//! procedural dataset — overall value balance, per-surface cloudiness,
+//! radiometry, and latitude structure — for documentation and sanity
+//! checks before a transformation run.
+
+use crate::dataset::Dataset;
+use crate::pixel::{CHANNELS, CHANNEL_NAMES};
+use crate::surface::SurfaceType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-surface-type aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceStat {
+    /// The surface type.
+    pub surface: SurfaceType,
+    /// Tiles whose dominant surface this is.
+    pub tile_count: usize,
+    /// Mean cloud fraction over those tiles.
+    pub mean_cloud_fraction: f64,
+}
+
+/// Latitude-band aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatitudeBandStat {
+    /// Band center latitude, degrees.
+    pub center_deg: f64,
+    /// Tiles in the band.
+    pub tile_count: usize,
+    /// Mean cloud fraction in the band.
+    pub mean_cloud_fraction: f64,
+}
+
+/// Summary statistics of a dataset at one tile grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of frames.
+    pub frame_count: usize,
+    /// Number of tiles at the analyzed grid.
+    pub tile_count: usize,
+    /// Pixel-level cloud (low-value) fraction.
+    pub cloud_fraction: f64,
+    /// Mean reflectance per channel.
+    pub channel_means: [f64; CHANNELS],
+    /// Reflectance standard deviation per channel.
+    pub channel_stds: [f64; CHANNELS],
+    /// Per-dominant-surface aggregates, ordered by tile count.
+    pub per_surface: Vec<SurfaceStat>,
+    /// Cloudiness by 30-degree latitude band, south to north.
+    pub latitude_bands: Vec<LatitudeBandStat>,
+}
+
+impl DatasetStats {
+    /// Computes statistics over a dataset tiled at `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` does not divide the dataset's frame dimension.
+    pub fn compute(dataset: &Dataset, grid: usize) -> DatasetStats {
+        let tiles = dataset.tiles(grid);
+        let tile_count = tiles.len();
+
+        let mut cloud_sum = 0.0;
+        let mut means = [0.0f64; CHANNELS];
+        let mut sq = [0.0f64; CHANNELS];
+        let mut surface_count = [0usize; 8];
+        let mut surface_cloud = [0.0f64; 8];
+        let band_count = 6;
+        let mut band_tiles = vec![0usize; band_count];
+        let mut band_cloud = vec![0.0f64; band_count];
+
+        for tile in &tiles {
+            cloud_sum += tile.cloud_fraction();
+            let m = tile.channel_means();
+            for c in 0..CHANNELS {
+                means[c] += m[c];
+                sq[c] += m[c] * m[c];
+            }
+            let dom = tile.dominant_surface().index();
+            surface_count[dom] += 1;
+            surface_cloud[dom] += tile.cloud_fraction();
+            let band = (((tile.center_lat_deg() + 90.0) / 30.0) as usize).min(band_count - 1);
+            band_tiles[band] += 1;
+            band_cloud[band] += tile.cloud_fraction();
+        }
+
+        let n = tile_count.max(1) as f64;
+        for c in 0..CHANNELS {
+            means[c] /= n;
+            sq[c] = (sq[c] / n - means[c] * means[c]).max(0.0).sqrt();
+        }
+
+        let mut per_surface: Vec<SurfaceStat> = SurfaceType::ALL
+            .iter()
+            .filter(|s| surface_count[s.index()] > 0)
+            .map(|&surface| SurfaceStat {
+                surface,
+                tile_count: surface_count[surface.index()],
+                mean_cloud_fraction: surface_cloud[surface.index()]
+                    / surface_count[surface.index()] as f64,
+            })
+            .collect();
+        per_surface.sort_by(|a, b| b.tile_count.cmp(&a.tile_count));
+
+        let latitude_bands = (0..band_count)
+            .map(|b| LatitudeBandStat {
+                center_deg: -90.0 + 30.0 * b as f64 + 15.0,
+                tile_count: band_tiles[b],
+                mean_cloud_fraction: if band_tiles[b] > 0 {
+                    band_cloud[b] / band_tiles[b] as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+
+        DatasetStats {
+            frame_count: dataset.len(),
+            tile_count,
+            cloud_fraction: cloud_sum / n,
+            channel_means: means,
+            channel_stds: sq,
+            per_surface,
+            latitude_bands,
+        }
+    }
+
+    /// Pixel-level high-value fraction.
+    pub fn high_value_fraction(&self) -> f64 {
+        1.0 - self.cloud_fraction
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} frames, {} tiles; {:.1}% cloudy / {:.1}% high-value",
+            self.frame_count,
+            self.tile_count,
+            self.cloud_fraction * 100.0,
+            self.high_value_fraction() * 100.0
+        )?;
+        writeln!(f, "channels (mean +/- std):")?;
+        for c in 0..CHANNELS {
+            writeln!(
+                f,
+                "  {:<8} {:.3} +/- {:.3}",
+                CHANNEL_NAMES[c], self.channel_means[c], self.channel_stds[c]
+            )?;
+        }
+        writeln!(f, "dominant surfaces:")?;
+        for s in &self.per_surface {
+            writeln!(
+                f,
+                "  {:<10} {:>5} tiles, {:>5.1}% cloudy",
+                s.surface.name(),
+                s.tile_count,
+                s.mean_cloud_fraction * 100.0
+            )?;
+        }
+        writeln!(f, "latitude bands:")?;
+        for b in &self.latitude_bands {
+            if b.tile_count > 0 {
+                writeln!(
+                    f,
+                    "  {:>5.0} deg: {:>5} tiles, {:>5.1}% cloudy",
+                    b.center_deg,
+                    b.tile_count,
+                    b.mean_cloud_fraction * 100.0
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::frame::World;
+
+    fn stats() -> DatasetStats {
+        let world = World::new(42);
+        let mut cfg = DatasetConfig::small(1);
+        cfg.frame_count = 16;
+        let dataset = Dataset::sample(&world, &cfg);
+        DatasetStats::compute(&dataset, 3)
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let s = stats();
+        assert_eq!(s.frame_count, 16);
+        assert_eq!(s.tile_count, 16 * 9);
+        let surface_total: usize = s.per_surface.iter().map(|p| p.tile_count).sum();
+        assert_eq!(surface_total, s.tile_count);
+        let band_total: usize = s.latitude_bands.iter().map(|b| b.tile_count).sum();
+        assert_eq!(band_total, s.tile_count);
+    }
+
+    #[test]
+    fn fractions_are_physical() {
+        let s = stats();
+        assert!((0.0..=1.0).contains(&s.cloud_fraction));
+        assert!((s.cloud_fraction + s.high_value_fraction() - 1.0).abs() < 1e-12);
+        for p in &s.per_surface {
+            assert!((0.0..=1.0).contains(&p.mean_cloud_fraction));
+        }
+        for c in 0..CHANNELS {
+            assert!((0.0..=1.0).contains(&s.channel_means[c]));
+            assert!(s.channel_stds[c] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn surfaces_sorted_by_prevalence() {
+        let s = stats();
+        for pair in s.per_surface.windows(2) {
+            assert!(pair[0].tile_count >= pair[1].tile_count);
+        }
+        // Ocean should be the most common dominant surface on an
+        // Earth-like world.
+        assert_eq!(s.per_surface[0].surface, SurfaceType::Ocean);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = stats().to_string();
+        assert!(text.contains("cloudy"));
+        assert!(text.contains("cirrus"));
+        assert!(text.contains("ocean"));
+        assert!(text.contains("latitude bands"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # kodan-hw
+//!
+//! Hardware deployment-target models for the Kodan (ASPLOS '23)
+//! reproduction. The paper evaluates on three physical platforms — a
+//! GeForce GTX 1070 Ti, a Core i7-7800X, and a Jetson AGX Orin in its 15 W
+//! mode — and reports measured per-tile inference times in Table 1. Those
+//! platforms are not available here, so this crate models them:
+//!
+//! - [`targets`] — the platforms and their power envelopes,
+//! - [`table1`] — the measured per-tile execution times from the paper,
+//! - [`latency`] — a latency model that reproduces Table 1 exactly for
+//!   the full architectures and scales it for Kodan's smaller specialized
+//!   models and the context engine,
+//! - [`power`] — energy accounting for an orbit-scale power budget.
+//!
+//! Everything downstream (frame deadlines met or missed, queue backlogs,
+//! downlink contents) is simulated faithfully on top of these times.
+//!
+//! ## Example
+//!
+//! ```
+//! use kodan_hw::targets::HwTarget;
+//! use kodan_hw::latency::LatencyModel;
+//! use kodan_ml::zoo::ModelArch;
+//!
+//! let orin = LatencyModel::new(HwTarget::OrinAgx15W);
+//! let t = orin.full_model_tile_time(ModelArch::MobileNetV2DilatedC1);
+//! assert!((t.as_seconds() - 0.6188).abs() < 1e-9); // Table 1: 618.8 ms
+//! ```
+
+pub mod latency;
+pub mod power;
+pub mod table1;
+pub mod targets;
+
+pub use latency::LatencyModel;
+pub use targets::HwTarget;

@@ -1,0 +1,82 @@
+//! The measured per-tile execution times of the paper's Table 1.
+//!
+//! These are the paper's ground-truth measurements of the seven reference
+//! applications on the three hardware targets, in milliseconds per tile.
+//! They anchor the latency model: the reproduction's simulated deployments
+//! consume exactly these times for full (unspecialized) models.
+
+use kodan_ml::zoo::ModelArch;
+
+use crate::targets::HwTarget;
+
+/// Per-tile processing time in milliseconds, `[app][target]` with targets
+/// in [`HwTarget::ALL`] order (1070 Ti, i7-7800, Orin 15W). Rows follow
+/// [`ModelArch::ALL`] (App 1 through App 7).
+pub const TABLE1_MS: [[f64; 3]; 7] = [
+    [178.2, 440.6, 618.8],
+    [237.6, 940.6, 935.6],
+    [321.8, 1292.0, 1515.0],
+    [361.4, 1787.0, 1594.0],
+    [410.9, 2124.0, 1797.0],
+    [445.5, 2307.0, 1970.0],
+    [475.2, 2545.0, 2040.0],
+];
+
+/// Looks up the measured per-tile time for an architecture on a target,
+/// in milliseconds.
+pub fn per_tile_ms(arch: ModelArch, target: HwTarget) -> f64 {
+    TABLE1_MS[arch.index()][target.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spot_check_table_corners() {
+        assert_eq!(
+            per_tile_ms(ModelArch::MobileNetV2DilatedC1, HwTarget::Gtx1070Ti),
+            178.2
+        );
+        assert_eq!(
+            per_tile_ms(ModelArch::ResNet101DilatedPpm, HwTarget::OrinAgx15W),
+            2040.0
+        );
+        assert_eq!(
+            per_tile_ms(ModelArch::ResNet50DilatedPpm, HwTarget::CoreI7_7800X),
+            1787.0
+        );
+    }
+
+    #[test]
+    fn gpu_is_fastest_for_every_app() {
+        for arch in ModelArch::ALL {
+            let gpu = per_tile_ms(arch, HwTarget::Gtx1070Ti);
+            assert!(gpu < per_tile_ms(arch, HwTarget::CoreI7_7800X));
+            assert!(gpu < per_tile_ms(arch, HwTarget::OrinAgx15W));
+        }
+    }
+
+    #[test]
+    fn times_increase_with_app_number_per_target() {
+        for target in HwTarget::ALL {
+            let mut prev = 0.0;
+            for arch in ModelArch::ALL {
+                let t = per_tile_ms(arch, target);
+                assert!(t > prev, "{arch} on {target}: {t} <= {prev}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn app1_frame_time_exceeds_deadline_on_every_target_at_max_tiling() {
+        // The paper's motivating observation: even App 1 at 121 tiles per
+        // frame busts the ~22 s deadline everywhere (121 x 178.2 ms = 21.6 s
+        // on the GPU — right at the edge; far beyond on the others).
+        for target in [HwTarget::CoreI7_7800X, HwTarget::OrinAgx15W] {
+            let frame_s = 121.0 * per_tile_ms(ModelArch::MobileNetV2DilatedC1, target) / 1000.0;
+            assert!(frame_s > 22.0, "{target}: {frame_s} s");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The hardware deployment targets of the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compute platform a Kodan application can be deployed to.
+///
+/// The three targets span the paper's design space: the Orin 15 W is "near
+/// the maximum reasonable power draw for a 3U cubesat subsystem", while
+/// the i7 and 1070 Ti "represent forward-looking computational hardware
+/// for the space edge" (paper Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HwTarget {
+    /// NVIDIA GeForce GTX 1070 Ti discrete GPU (~180 W).
+    Gtx1070Ti,
+    /// Intel Core i7-7800X, 12 threads at 3.5 GHz (~140 W).
+    CoreI7_7800X,
+    /// NVIDIA Jetson AGX Orin embedded GPU in its 15 W power mode.
+    OrinAgx15W,
+}
+
+impl HwTarget {
+    /// All targets, in the paper's column order (1070 Ti, i7-7800, Orin
+    /// 15W).
+    pub const ALL: [HwTarget; 3] = [
+        HwTarget::Gtx1070Ti,
+        HwTarget::CoreI7_7800X,
+        HwTarget::OrinAgx15W,
+    ];
+
+    /// 0-based index within [`HwTarget::ALL`].
+    pub fn index(self) -> usize {
+        HwTarget::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("ALL contains every variant")
+    }
+
+    /// Short display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            HwTarget::Gtx1070Ti => "1070 Ti",
+            HwTarget::CoreI7_7800X => "i7-7800",
+            HwTarget::OrinAgx15W => "Orin 15W",
+        }
+    }
+
+    /// Nominal power draw, watts.
+    pub fn power_watts(self) -> f64 {
+        match self {
+            HwTarget::Gtx1070Ti => 180.0,
+            HwTarget::CoreI7_7800X => 140.0,
+            HwTarget::OrinAgx15W => 15.0,
+        }
+    }
+
+    /// True if this platform fits a cubesat-class power budget.
+    pub fn is_flight_representative(self) -> bool {
+        matches!(self, HwTarget::OrinAgx15W)
+    }
+}
+
+impl fmt::Display for HwTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_targets_in_paper_order() {
+        assert_eq!(HwTarget::ALL.len(), 3);
+        assert_eq!(HwTarget::Gtx1070Ti.index(), 0);
+        assert_eq!(HwTarget::OrinAgx15W.index(), 2);
+        assert_eq!(HwTarget::CoreI7_7800X.name(), "i7-7800");
+    }
+
+    #[test]
+    fn only_the_orin_is_flight_representative() {
+        assert!(HwTarget::OrinAgx15W.is_flight_representative());
+        assert!(!HwTarget::Gtx1070Ti.is_flight_representative());
+        assert!(!HwTarget::CoreI7_7800X.is_flight_representative());
+        assert!(HwTarget::OrinAgx15W.power_watts() < 20.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # kodan-ml
+//!
+//! A small, dependency-light machine-learning substrate for the Kodan
+//! (ASPLOS '23) reproduction. It stands in for the PyTorch semantic
+//! segmentation stack the paper uses, providing everything the Kodan
+//! pipeline needs:
+//!
+//! - [`matrix`] — dense row-major matrices,
+//! - [`metrics`] — the distance metrics the paper sweeps when clustering
+//!   label vectors (Euclidean, Hamming, Cosine, ...),
+//! - [`kmeans`] — k-means++ clustering for automatic context generation,
+//! - [`transform`] — label-vector transformations (standardization, PCA
+//!   via power iteration) swept alongside the metrics,
+//! - [`linear`] / [`mlp`] — binary per-pixel classifiers trained with
+//!   mini-batch SGD,
+//! - [`eval`] — confusion matrices, accuracy, precision, recall, F1, IoU,
+//! - [`zoo`] — the seven benchmark model architectures of the paper's
+//!   Table 1, as capacity/input-resolution descriptors.
+//!
+//! All training is deterministic given a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use kodan_ml::linear::LogisticRegression;
+//! use kodan_ml::train::TrainConfig;
+//! use kodan_ml::PixelClassifier;
+//!
+//! // Learn y = x0 > 0.5 from noisy samples.
+//! let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 100) as f64 / 100.0]).collect();
+//! let ys: Vec<bool> = xs.iter().map(|x| x[0] > 0.5).collect();
+//! let model = LogisticRegression::fit(&xs, &ys, &TrainConfig::fast(7));
+//! assert!(model.predict(&[0.9]));
+//! assert!(!model.predict(&[0.1]));
+//! ```
+
+pub mod eval;
+pub mod kmeans;
+pub mod linear;
+pub mod matrix;
+pub mod metrics;
+pub mod mlp;
+pub mod optimizer;
+pub mod train;
+pub mod transform;
+pub mod zoo;
+
+pub use eval::ConfusionMatrix;
+pub use kmeans::KMeans;
+pub use linear::LogisticRegression;
+pub use metrics::DistanceMetric;
+pub use mlp::Mlp;
+pub use train::TrainConfig;
+pub use zoo::ModelArch;
+
+/// A binary classifier over fixed-length feature vectors.
+///
+/// Both [`LogisticRegression`] and [`Mlp`] implement this; the Kodan core
+/// stores specialized models as `Box<dyn PixelClassifier>`.
+pub trait PixelClassifier: Send + Sync {
+    /// Probability that the sample is positive (high-value / clear).
+    fn predict_proba(&self, features: &[f64]) -> f64;
+
+    /// Number of input features this classifier expects.
+    fn input_dim(&self) -> usize;
+
+    /// Hard decision at the 0.5 threshold.
+    fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+}

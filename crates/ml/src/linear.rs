@@ -1,0 +1,286 @@
+//! Binary logistic regression trained with mini-batch SGD.
+
+use crate::optimizer::Optimizer;
+use crate::train::{bce_loss, sigmoid, TrainConfig};
+use crate::PixelClassifier;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// A binary logistic-regression classifier.
+///
+/// # Example
+///
+/// ```
+/// use kodan_ml::linear::LogisticRegression;
+/// use kodan_ml::train::TrainConfig;
+/// use kodan_ml::PixelClassifier;
+///
+/// let xs = vec![vec![0.0], vec![0.2], vec![0.8], vec![1.0]];
+/// let ys = vec![false, false, true, true];
+/// let model = LogisticRegression::fit(&xs, &ys, &TrainConfig::fast(1));
+/// assert!(model.predict_proba(&[1.0]) > model.predict_proba(&[0.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Trains on feature rows `xs` with boolean labels `ys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data is empty, ragged, mismatched with the labels, or
+    /// the config is invalid.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], config: &TrainConfig) -> LogisticRegression {
+        let flat = FlatData::collect(xs, ys);
+        LogisticRegression::fit_flat(&flat.x, flat.dim, &flat.y, config)
+    }
+
+    /// Trains on a flat row-major feature buffer (`rows * dim` long). This
+    /// is the allocation-friendly entry point used by the Kodan pipeline,
+    /// where features come straight out of the image feature extractor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty or not a multiple of `dim`, the label
+    /// count mismatches, or the config is invalid.
+    pub fn fit_flat(
+        x: &[f64],
+        dim: usize,
+        y: &[bool],
+        config: &TrainConfig,
+    ) -> LogisticRegression {
+        config.validate();
+        assert!(dim > 0, "features required");
+        assert!(!x.is_empty(), "training data required");
+        assert_eq!(x.len() % dim, 0, "buffer not a multiple of dim");
+        let n = x.len() / dim;
+        assert_eq!(n, y.len(), "label count mismatch");
+
+        let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ 0x10C1);
+        let mut weights: Vec<f64> = (0..dim).map(|_| rng.random_range(-0.01..0.01)).collect();
+        let mut bias = vec![0.0f64];
+        let mut w_opt = Optimizer::new(config.optimizer, config.momentum, dim);
+        let mut b_opt = Optimizer::new(config.optimizer, config.momentum, 1);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut best_loss = f64::INFINITY;
+        let mut stale_epochs = 0usize;
+        for _ in 0..config.epochs {
+            shuffle(&mut order, &mut rng);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(config.batch_size) {
+                let mut w_grad = vec![0.0; dim];
+                let mut b_grad = 0.0;
+                for &i in batch {
+                    let row = &x[i * dim..(i + 1) * dim];
+                    let z = dot(&weights, row) + bias[0];
+                    let p = sigmoid(z);
+                    epoch_loss += bce_loss(p, y[i]);
+                    let err = p - if y[i] { 1.0 } else { 0.0 };
+                    for (g, v) in w_grad.iter_mut().zip(row) {
+                        *g += err * v;
+                    }
+                    b_grad += err;
+                }
+                let scale = 1.0 / batch.len() as f64;
+                w_opt.step(&mut weights, &w_grad, scale, config.learning_rate, config.l2);
+                b_opt.step(&mut bias, &[b_grad], scale, config.learning_rate, 0.0);
+            }
+            if let Some(patience) = config.patience {
+                if epoch_loss < best_loss - 1e-9 {
+                    best_loss = epoch_loss;
+                    stale_epochs = 0;
+                } else {
+                    stale_epochs += 1;
+                    if stale_epochs >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        LogisticRegression {
+            weights,
+            bias: bias[0],
+        }
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl PixelClassifier for LogisticRegression {
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.weights.len(), "dimension mismatch");
+        sigmoid(dot(&self.weights, features) + self.bias)
+    }
+
+    fn input_dim(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn shuffle(order: &mut [usize], rng: &mut ChaCha12Rng) {
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+}
+
+/// Helper that flattens `Vec<Vec<f64>>` training data, validating shape.
+pub(crate) struct FlatData {
+    pub x: Vec<f64>,
+    pub y: Vec<bool>,
+    pub dim: usize,
+}
+
+impl FlatData {
+    pub fn collect(xs: &[Vec<f64>], ys: &[bool]) -> FlatData {
+        assert!(!xs.is_empty(), "training data required");
+        assert_eq!(xs.len(), ys.len(), "label count mismatch");
+        let dim = xs[0].len();
+        let mut x = Vec::with_capacity(xs.len() * dim);
+        for row in xs {
+            assert_eq!(row.len(), dim, "ragged rows");
+            x.extend_from_slice(row);
+        }
+        FlatData {
+            x,
+            y: ys.to_vec(),
+            dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // y = (x0 + x1 > 1.0), points on a grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let a = (i % 10) as f64 / 10.0;
+            let b = ((i / 10) % 10) as f64 / 10.0;
+            xs.push(vec![a, b]);
+            ys.push(a + b > 1.0);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let (xs, ys) = linearly_separable(100);
+        let mut config = TrainConfig::fast(1);
+        config.epochs = 120;
+        let model = LogisticRegression::fit(&xs, &ys, &config);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert!(correct >= 93, "accuracy {correct}/100");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = linearly_separable(100);
+        let a = LogisticRegression::fit(&xs, &ys, &TrainConfig::fast(5));
+        let b = LogisticRegression::fit(&xs, &ys, &TrainConfig::fast(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let (xs, ys) = linearly_separable(100);
+        let a = LogisticRegression::fit(&xs, &ys, &TrainConfig::fast(5));
+        let b = LogisticRegression::fit(&xs, &ys, &TrainConfig::fast(6));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_ish() {
+        let (xs, ys) = linearly_separable(100);
+        let model = LogisticRegression::fit(&xs, &ys, &TrainConfig::fast(2));
+        // Deep in each class the probability should be extreme.
+        assert!(model.predict_proba(&[1.0, 1.0]) > 0.9);
+        assert!(model.predict_proba(&[0.0, 0.0]) < 0.1);
+        // All probabilities valid.
+        for x in &xs {
+            let p = model.predict_proba(x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn flat_entry_point_matches_nested() {
+        let (xs, ys) = linearly_separable(50);
+        let nested = LogisticRegression::fit(&xs, &ys, &TrainConfig::fast(3));
+        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+        let from_flat = LogisticRegression::fit_flat(&flat, 2, &ys, &TrainConfig::fast(3));
+        assert_eq!(nested, from_flat);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (xs, ys) = linearly_separable(100);
+        let mut weak = TrainConfig::fast(1);
+        weak.l2 = 0.0;
+        let mut strong = TrainConfig::fast(1);
+        strong.l2 = 0.1;
+        let w_free = LogisticRegression::fit(&xs, &ys, &weak);
+        let w_reg = LogisticRegression::fit(&xs, &ys, &strong);
+        let norm = |m: &LogisticRegression| m.weights().iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&w_reg) < norm(&w_free));
+    }
+
+    #[test]
+    fn adam_also_learns_the_data() {
+        let (xs, ys) = linearly_separable(100);
+        let mut config = TrainConfig::fast(1);
+        config.optimizer = crate::optimizer::OptimizerKind::Adam;
+        config.learning_rate = 0.05;
+        config.epochs = 120;
+        let model = LogisticRegression::fit(&xs, &ys, &config);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert!(correct >= 90, "adam accuracy {correct}/100");
+    }
+
+    #[test]
+    fn patience_stops_training_without_breaking_the_model() {
+        let (xs, ys) = linearly_separable(100);
+        let mut config = TrainConfig::fast(1);
+        config.epochs = 2000;
+        config.patience = Some(3);
+        let stopped = LogisticRegression::fit(&xs, &ys, &config);
+        // Still a working classifier.
+        assert!(stopped.predict(&[1.0, 1.0]));
+        assert!(!stopped.predict(&[0.0, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn rejects_mismatched_labels() {
+        let _ = LogisticRegression::fit(&[vec![1.0]], &[true, false], &TrainConfig::fast(0));
+    }
+}

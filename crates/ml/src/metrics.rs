@@ -1,0 +1,156 @@
+//! Distance metrics for label-vector clustering.
+//!
+//! The paper sweeps "label vector distance metrics (Euclidean, Hamming,
+//! Cosine, etc.)" when generating contexts automatically (Section 3.2).
+//! This module provides that metric family; [`crate::kmeans`] accepts any
+//! of them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A distance metric over `f64` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// L2 distance.
+    Euclidean,
+    /// L1 distance.
+    Manhattan,
+    /// L-infinity distance.
+    Chebyshev,
+    /// `1 - cos(a, b)`; zero vectors are treated as maximally distant.
+    Cosine,
+    /// Fraction of coordinates that differ after thresholding at 0.5 —
+    /// the natural metric for binarized label vectors.
+    Hamming,
+}
+
+impl DistanceMetric {
+    /// Every supported metric, for sweeps.
+    pub const ALL: [DistanceMetric; 5] = [
+        DistanceMetric::Euclidean,
+        DistanceMetric::Manhattan,
+        DistanceMetric::Chebyshev,
+        DistanceMetric::Cosine,
+        DistanceMetric::Hamming,
+    ];
+
+    /// Computes the distance between two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or are empty.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        assert!(!a.is_empty(), "vectors must be non-empty");
+        match self {
+            DistanceMetric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt(),
+            DistanceMetric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            DistanceMetric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+            DistanceMetric::Cosine => {
+                let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+                let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if na < 1e-12 || nb < 1e-12 {
+                    return 1.0;
+                }
+                (1.0 - dot / (na * nb)).max(0.0)
+            }
+            DistanceMetric::Hamming => {
+                let differing = a
+                    .iter()
+                    .zip(b)
+                    .filter(|(x, y)| (**x >= 0.5) != (**y >= 0.5))
+                    .count();
+                differing as f64 / a.len() as f64
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistanceMetric::Euclidean => "euclidean",
+            DistanceMetric::Manhattan => "manhattan",
+            DistanceMetric::Chebyshev => "chebyshev",
+            DistanceMetric::Cosine => "cosine",
+            DistanceMetric::Hamming => "hamming",
+        }
+    }
+}
+
+impl fmt::Display for DistanceMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [0.0, 0.0, 0.0];
+    const B: [f64; 3] = [3.0, 4.0, 0.0];
+
+    #[test]
+    fn euclidean_is_l2() {
+        assert_eq!(DistanceMetric::Euclidean.distance(&A, &B), 5.0);
+    }
+
+    #[test]
+    fn manhattan_is_l1() {
+        assert_eq!(DistanceMetric::Manhattan.distance(&A, &B), 7.0);
+    }
+
+    #[test]
+    fn chebyshev_is_linf() {
+        assert_eq!(DistanceMetric::Chebyshev.distance(&A, &B), 4.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!(DistanceMetric::Cosine.distance(&a, &b) < 1e-12);
+        let c = [-1.0, -2.0, -3.0];
+        assert!((DistanceMetric::Cosine.distance(&a, &c) - 2.0).abs() < 1e-12);
+        // Zero vector: maximal.
+        assert_eq!(DistanceMetric::Cosine.distance(&a, &A), 1.0);
+    }
+
+    #[test]
+    fn hamming_counts_threshold_flips() {
+        let a = [0.9, 0.1, 0.9, 0.1];
+        let b = [0.8, 0.7, 0.2, 0.0];
+        // Coordinates 1 and 2 flip across the 0.5 threshold.
+        assert!((DistanceMetric::Hamming.distance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_metrics_satisfy_identity_and_symmetry() {
+        let a = [0.3, 0.8, 0.1, 0.99];
+        let b = [0.7, 0.2, 0.2, 0.01];
+        for m in DistanceMetric::ALL {
+            assert!(m.distance(&a, &a) < 1e-12, "{m} identity");
+            assert!(
+                (m.distance(&a, &b) - m.distance(&b, &a)).abs() < 1e-12,
+                "{m} symmetry"
+            );
+            assert!(m.distance(&a, &b) >= 0.0, "{m} non-negative");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_length_mismatch() {
+        let _ = DistanceMetric::Euclidean.distance(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,293 @@
+//! A one-hidden-layer multilayer perceptron for per-pixel classification.
+//!
+//! The model zoo maps each of the paper's segmentation architectures to an
+//! MLP of a given hidden width over the pixel feature set: wider networks
+//! stand in for deeper backbones. Training is plain mini-batch SGD with
+//! momentum; ReLU hidden units; sigmoid output.
+
+use crate::optimizer::Optimizer;
+use crate::train::{bce_loss, sigmoid, TrainConfig};
+use crate::PixelClassifier;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// A binary MLP classifier with one ReLU hidden layer.
+///
+/// # Example
+///
+/// ```
+/// use kodan_ml::mlp::Mlp;
+/// use kodan_ml::train::TrainConfig;
+/// use kodan_ml::PixelClassifier;
+///
+/// // XOR-ish: not linearly separable.
+/// let xs = vec![
+///     vec![0.0, 0.0], vec![1.0, 1.0], // negative
+///     vec![0.0, 1.0], vec![1.0, 0.0], // positive
+/// ];
+/// let ys = vec![false, false, true, true];
+/// let mut config = TrainConfig::fast(3);
+/// config.epochs = 3000;
+/// let model = Mlp::fit(&xs, &ys, 8, &config);
+/// assert!(model.predict(&[0.0, 1.0]));
+/// assert!(!model.predict(&[1.0, 1.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    input_dim: usize,
+    hidden: usize,
+    /// Hidden weights, `hidden x input_dim` row-major.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// Output weights, `hidden` long.
+    w2: Vec<f64>,
+    b2: f64,
+}
+
+impl Mlp {
+    /// Trains an MLP with `hidden` ReLU units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data is empty/ragged/mismatched, `hidden` is zero, or
+    /// the config is invalid.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], hidden: usize, config: &TrainConfig) -> Mlp {
+        let flat = crate::linear::FlatData::collect(xs, ys);
+        Mlp::fit_flat(&flat.x, flat.dim, &flat.y, hidden, config)
+    }
+
+    /// Trains on a flat row-major feature buffer; see
+    /// [`crate::linear::LogisticRegression::fit_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches, zero `hidden`, or an invalid config.
+    pub fn fit_flat(
+        x: &[f64],
+        dim: usize,
+        y: &[bool],
+        hidden: usize,
+        config: &TrainConfig,
+    ) -> Mlp {
+        config.validate();
+        assert!(hidden > 0, "hidden units required");
+        assert!(dim > 0, "features required");
+        assert!(!x.is_empty(), "training data required");
+        assert_eq!(x.len() % dim, 0, "buffer not a multiple of dim");
+        let n = x.len() / dim;
+        assert_eq!(n, y.len(), "label count mismatch");
+
+        let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ 0x371F);
+        // He-style initialization for ReLU.
+        let scale = (2.0 / dim as f64).sqrt();
+        let mut w1: Vec<f64> = (0..hidden * dim)
+            .map(|_| rng.random_range(-scale..scale))
+            .collect();
+        let mut b1 = vec![0.0f64; hidden];
+        let out_scale = (1.0 / hidden as f64).sqrt();
+        let mut w2: Vec<f64> = (0..hidden)
+            .map(|_| rng.random_range(-out_scale..out_scale))
+            .collect();
+        let b2 = 0.0f64;
+
+        let mut opt_w1 = Optimizer::new(config.optimizer, config.momentum, hidden * dim);
+        let mut opt_b1 = Optimizer::new(config.optimizer, config.momentum, hidden);
+        let mut opt_w2 = Optimizer::new(config.optimizer, config.momentum, hidden);
+        let mut opt_b2 = Optimizer::new(config.optimizer, config.momentum, 1);
+        let mut b2_group = vec![b2];
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut act = vec![0.0f64; hidden];
+        let mut best_loss = f64::INFINITY;
+        let mut stale_epochs = 0usize;
+        for _ in 0..config.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(config.batch_size) {
+                let mut g_w1 = vec![0.0; hidden * dim];
+                let mut g_b1 = vec![0.0; hidden];
+                let mut g_w2 = vec![0.0; hidden];
+                let mut g_b2 = 0.0;
+                for &i in batch {
+                    let row = &x[i * dim..(i + 1) * dim];
+                    // Forward.
+                    for h in 0..hidden {
+                        let z = b1[h]
+                            + w1[h * dim..(h + 1) * dim]
+                                .iter()
+                                .zip(row)
+                                .map(|(w, v)| w * v)
+                                .sum::<f64>();
+                        act[h] = z.max(0.0);
+                    }
+                    let z_out =
+                        b2_group[0] + w2.iter().zip(&act).map(|(w, a)| w * a).sum::<f64>();
+                    let p = sigmoid(z_out);
+                    epoch_loss += bce_loss(p, y[i]);
+                    // Backward.
+                    let err = p - if y[i] { 1.0 } else { 0.0 };
+                    g_b2 += err;
+                    for h in 0..hidden {
+                        g_w2[h] += err * act[h];
+                        if act[h] > 0.0 {
+                            let delta = err * w2[h];
+                            g_b1[h] += delta;
+                            let g_row = &mut g_w1[h * dim..(h + 1) * dim];
+                            for (g, v) in g_row.iter_mut().zip(row) {
+                                *g += delta * v;
+                            }
+                        }
+                    }
+                }
+                let scale = 1.0 / batch.len() as f64;
+                opt_w1.step(&mut w1, &g_w1, scale, config.learning_rate, config.l2);
+                opt_b1.step(&mut b1, &g_b1, scale, config.learning_rate, 0.0);
+                opt_w2.step(&mut w2, &g_w2, scale, config.learning_rate, config.l2);
+                opt_b2.step(&mut b2_group, &[g_b2], scale, config.learning_rate, 0.0);
+            }
+            if let Some(patience) = config.patience {
+                if epoch_loss < best_loss - 1e-9 {
+                    best_loss = epoch_loss;
+                    stale_epochs = 0;
+                } else {
+                    stale_epochs += 1;
+                    if stale_epochs >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+
+        Mlp {
+            input_dim: dim,
+            hidden,
+            w1,
+            b1,
+            w2,
+            b2: b2_group[0],
+        }
+    }
+
+    /// Number of hidden units.
+    pub fn hidden_units(&self) -> usize {
+        self.hidden
+    }
+
+    /// Approximate multiply-accumulate count per prediction, used by the
+    /// hardware latency model to scale specialized-model cost.
+    pub fn ops_per_prediction(&self) -> usize {
+        self.hidden * self.input_dim + self.hidden
+    }
+}
+
+impl PixelClassifier for Mlp {
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.input_dim, "dimension mismatch");
+        let mut z_out = self.b2;
+        for h in 0..self.hidden {
+            let z = self.b1[h]
+                + self.w1[h * self.input_dim..(h + 1) * self.input_dim]
+                    .iter()
+                    .zip(features)
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>();
+            if z > 0.0 {
+                z_out += self.w2[h] * z;
+            }
+        }
+        sigmoid(z_out)
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circle_data(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Positive inside a circle — not linearly separable.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let a = (i % 20) as f64 / 10.0 - 1.0;
+            let b = ((i / 20) % 20) as f64 / 10.0 - 1.0;
+            xs.push(vec![a, b]);
+            ys.push(a * a + b * b < 0.5);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let (xs, ys) = circle_data(400);
+        let mut config = TrainConfig::fast(1);
+        config.epochs = 300;
+        config.learning_rate = 0.3;
+        let model = Mlp::fit(&xs, &ys, 16, &config);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.9,
+            "accuracy {correct}/400"
+        );
+    }
+
+    #[test]
+    fn beats_linear_model_on_nonlinear_data() {
+        let (xs, ys) = circle_data(400);
+        let mut config = TrainConfig::fast(1);
+        config.epochs = 300;
+        let mlp = Mlp::fit(&xs, &ys, 16, &config);
+        let lin = crate::linear::LogisticRegression::fit(&xs, &ys, &config);
+        let acc = |f: &dyn Fn(&[f64]) -> bool| {
+            xs.iter().zip(&ys).filter(|(x, &y)| f(x) == y).count()
+        };
+        let mlp_acc = acc(&|x| mlp.predict(x));
+        let lin_acc = acc(&|x| lin.predict(x));
+        assert!(mlp_acc > lin_acc, "mlp {mlp_acc} vs linear {lin_acc}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (xs, ys) = circle_data(100);
+        let config = TrainConfig::fast(9);
+        assert_eq!(Mlp::fit(&xs, &ys, 8, &config), Mlp::fit(&xs, &ys, 8, &config));
+    }
+
+    #[test]
+    fn ops_scale_with_width() {
+        let (xs, ys) = circle_data(40);
+        let config = TrainConfig::fast(1);
+        let small = Mlp::fit(&xs, &ys, 4, &config);
+        let large = Mlp::fit(&xs, &ys, 16, &config);
+        assert_eq!(small.ops_per_prediction() * 4, large.ops_per_prediction());
+        assert_eq!(small.hidden_units(), 4);
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (xs, ys) = circle_data(100);
+        let model = Mlp::fit(&xs, &ys, 8, &TrainConfig::fast(1));
+        for x in &xs {
+            let p = model.predict_proba(x);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+        assert_eq!(model.input_dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden units")]
+    fn rejects_zero_hidden() {
+        let _ = Mlp::fit(&[vec![1.0]], &[true], 0, &TrainConfig::fast(0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Constellation sizing: the space-networking analysis behind the
+//! paper's motivation (Figures 2-3) and its headline coverage result
+//! (Figure 11).
+//!
+//! Shows (1) how the downlink saturates as satellites share a ground
+//! segment, (2) how many satellites daily global coverage takes, and
+//! (3) how Kodan shrinks the constellation needed for full ground-track
+//! *processing* coverage.
+//!
+//! ```text
+//! cargo run --release --example constellation_sizing
+//! ```
+
+use kodan::coverage::{coverage_comparison, satellites_required};
+use kodan::mission::SpaceEnvironment;
+use kodan::{KodanConfig, Transformation};
+use kodan_cote::constellation::Constellation;
+use kodan_cote::coverage::coverage;
+use kodan_cote::ground::GroundSegment;
+use kodan_cote::orbit::Orbit;
+use kodan_cote::sensor::Imager;
+use kodan_cote::sim::simulate_space_segment;
+use kodan_cote::time::Duration;
+use kodan_cote::wrs::WorldReferenceSystem;
+use kodan_geodata::{Dataset, DatasetConfig, World};
+use kodan_hw::HwTarget;
+use kodan_ml::ModelArch;
+
+fn main() {
+    let base = Orbit::sun_synchronous(705_000.0);
+    let imager = Imager::landsat_oli();
+    let segment = GroundSegment::landsat();
+
+    println!("== downlink saturation (one orbital plane, one period) ==");
+    for &count in &[1usize, 4, 16, 48] {
+        let constellation = Constellation::same_plane(base, count);
+        let report = simulate_space_segment(&constellation, &imager, &segment, base.period());
+        println!(
+            "{count:>3} satellites: {:>6} frames seen, {:>4} downlinkable ({:>5.1}%)",
+            report.frames_seen_total,
+            report.frames_downlinkable(),
+            report.downlink_fraction() * 100.0
+        );
+    }
+
+    println!("\n== daily coverage of the WRS-2-like scene grid ==");
+    let wrs = WorldReferenceSystem::wrs2_like();
+    for &count in &[1usize, 8, 24, 40] {
+        let constellation = Constellation::spread(base, count);
+        let report = coverage(&constellation, &imager, &wrs, Duration::from_days(1.0));
+        println!(
+            "{count:>3} satellites: {:>6}/{} unique scenes ({:>5.1}%)",
+            report.unique_scenes,
+            report.total_scenes,
+            report.coverage_fraction() * 100.0
+        );
+    }
+
+    println!("\n== full ground-track processing coverage (App 7, Orin 15W) ==");
+    let env = SpaceEnvironment::landsat(1);
+    let world = World::new(42);
+    let mut ds_cfg = DatasetConfig::evaluation(1);
+    ds_cfg.frame_count = 32;
+    let dataset = Dataset::sample(&world, &ds_cfg);
+    let mut config = KodanConfig::evaluation(42);
+    config.max_train_pixels = 6_000;
+    config.max_eval_tiles = 160;
+    config.train.epochs = 30;
+    let artifacts =
+        Transformation::new(config).run(&dataset, ModelArch::ResNet101DilatedPpm);
+    let cmp = coverage_comparison(
+        &artifacts,
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    println!(
+        "direct deploy needs {:>2} satellites; max-precision tiling {:>2}; kodan {}",
+        cmp.direct_deploy, cmp.max_precision_tiling, cmp.kodan
+    );
+    println!(
+        "kodan reduces the constellation {:.0}x vs direct deployment",
+        cmp.reduction_vs_direct()
+    );
+
+    // The raw relationship, for intuition.
+    println!("\nsatellites = ceil(frame_time / deadline):");
+    for &t in &[10.0, 22.0, 44.0, 98.0, 247.0] {
+        println!(
+            "  frame time {t:>6.1} s -> {} satellites",
+            satellites_required(Duration::from_seconds(t), env.frame_deadline)
+        );
+    }
+}

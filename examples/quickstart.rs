@@ -1,0 +1,113 @@
+//! Quickstart: run the Kodan transformation for one application and
+//! deploy it to the flight-representative Orin 15W target.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kodan::mission::{Mission, SpaceEnvironment, SystemKind};
+use kodan::runtime::Runtime;
+use kodan::selection::SelectionLogic;
+use kodan::{KodanConfig, Transformation};
+use kodan_geodata::{Dataset, DatasetConfig, World};
+use kodan_hw::HwTarget;
+use kodan_ml::ModelArch;
+
+fn main() {
+    // 1. The representative dataset: procedural multispectral imagery
+    //    with per-pixel cloud truth (52% cloudy, like the paper's
+    //    Sentinel-2 catalogue).
+    let world = World::new(42);
+    let mut ds_cfg = DatasetConfig::evaluation(1);
+    ds_cfg.frame_count = 40;
+    let dataset = Dataset::sample(&world, &ds_cfg);
+    println!(
+        "dataset: {} frames, {:.0}% cloudy",
+        dataset.len(),
+        dataset.cloud_fraction() * 100.0
+    );
+
+    // 2. The one-time transformation step: contexts, context engine,
+    //    specialized models, per-grid statistics.
+    let mut config = KodanConfig::evaluation(42);
+    config.max_train_pixels = 8_000;
+    config.max_eval_tiles = 240;
+    config.train.epochs = 40;
+    let arch = ModelArch::ResNet50DilatedPpm; // App 4
+    let artifacts = Transformation::new(config).run(&dataset, arch);
+    println!(
+        "contexts: {} (engine agreement {:.2})",
+        artifacts.contexts.len(),
+        artifacts.engine_val_agreement
+    );
+    for ctx in artifacts.contexts.contexts() {
+        println!(
+            "  {}: {:>4} tiles, {:>5.1}% high-value ({})",
+            ctx.id,
+            ctx.tile_count,
+            ctx.high_value_fraction * 100.0,
+            ctx.description
+        );
+    }
+
+    // 3. Derive the selection logic for the target satellite.
+    let env = SpaceEnvironment::landsat(1);
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    println!(
+        "\nselection logic for {}: {} tiles/frame, deadline {:.1} s, capacity fraction {:.3}",
+        logic.target(),
+        logic.tiles_per_frame(),
+        env.frame_deadline.as_seconds(),
+        env.capacity_fraction,
+    );
+    for (c, action) in logic.actions().iter().enumerate() {
+        println!("  context C{c}: {action}");
+    }
+    println!(
+        "estimate: frame {:.1} s, processed {:.2}, sent {:.3}, value {:.3}, dvd {:.3}",
+        logic.estimate().frame_time.as_seconds(),
+        logic.estimate().processed_fraction,
+        logic.estimate().sent_fraction,
+        logic.estimate().value_fraction,
+        logic.estimate().dvd
+    );
+
+    // 4. Fly a simulated day and compare against the baselines.
+    let mission = Mission::new(&env, &world, kodan::mission::MissionParams::default());
+    let bent = mission.run_bent_pipe();
+    let direct_logic = SelectionLogic::direct_deploy(
+        &artifacts,
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let direct = mission.run_with_runtime(
+        &Runtime::new(direct_logic, artifacts.engine.clone()),
+        SystemKind::DirectDeploy,
+    );
+    let kodan = mission.run_with_runtime(
+        &Runtime::new(logic, artifacts.engine.clone()),
+        SystemKind::Kodan,
+    );
+
+    println!("\nday-scale mission on the Orin 15W:");
+    for report in [&bent, &direct, &kodan] {
+        println!(
+            "  {:>13}: dvd {:.3}, frame {:>6.1} s, processed {:.2}, sent {:.3}, capacity used {:.2}",
+            report.system.to_string(),
+            report.dvd,
+            report.mean_frame_time.as_seconds(),
+            report.processed_fraction,
+            report.accounting.produced_px / report.accounting.observed_px,
+            report.accounting.capacity_utilization(),
+        );
+    }
+    println!(
+        "\nKodan improves DVD by {:.0}% over the bent pipe.",
+        (kodan.dvd / bent.dvd - 1.0) * 100.0
+    );
+}

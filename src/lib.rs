@@ -1,0 +1,21 @@
+//! # kodan-repro
+//!
+//! Umbrella crate for the Kodan (ASPLOS '23) reproduction workspace. It
+//! re-exports the workspace crates so that the examples under `examples/`
+//! and the integration tests under `tests/` can exercise the whole system
+//! through a single dependency.
+//!
+//! The actual implementation lives in the member crates:
+//!
+//! - [`kodan`] — the paper's contribution: contexts, model specialization,
+//!   frame tiling, elision, the selection logic, and the on-orbit runtime.
+//! - [`kodan_cote`] — the orbital-mechanics and space-segment simulator.
+//! - [`kodan_geodata`] — the procedural geospatial dataset.
+//! - [`kodan_ml`] — the pure-Rust machine-learning substrate.
+//! - [`kodan_hw`] — hardware deployment-target performance models.
+
+pub use kodan;
+pub use kodan_cote;
+pub use kodan_geodata;
+pub use kodan_hw;
+pub use kodan_ml;

@@ -1,0 +1,158 @@
+//! Baseline-ordering integration tests: the qualitative relations the
+//! paper's evaluation rests on must hold for the whole system.
+
+mod common;
+
+use common::{test_artifacts, test_world};
+use kodan::mission::{Mission, MissionParams, SpaceEnvironment, SystemKind};
+use kodan::runtime::Runtime;
+use kodan::selection::{SelectionLogic, TechniqueSet};
+use kodan_hw::HwTarget;
+
+fn env() -> SpaceEnvironment {
+    SpaceEnvironment::fixed(0.21)
+}
+
+fn params() -> MissionParams {
+    MissionParams {
+        sample_frames: 8,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 2.0,
+    }
+}
+
+#[test]
+fn kodan_dominates_direct_deploy_on_constrained_hardware() {
+    let artifacts = test_artifacts();
+    let env = env();
+    let world = test_world();
+    let mission = Mission::new(&env, &world, params());
+    for target in [HwTarget::OrinAgx15W, HwTarget::CoreI7_7800X] {
+        let direct_logic = SelectionLogic::direct_deploy(
+            artifacts,
+            target,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let direct = mission.run_with_runtime(
+            &Runtime::new(direct_logic, artifacts.engine.clone()),
+            SystemKind::DirectDeploy,
+        );
+        let kodan_logic =
+            artifacts.select_with_capacity(target, env.frame_deadline, env.capacity_fraction);
+        let kodan = mission.run_with_runtime(
+            &Runtime::new(kodan_logic, artifacts.engine.clone()),
+            SystemKind::Kodan,
+        );
+        assert!(
+            kodan.dvd > direct.dvd,
+            "{target}: kodan {} vs direct {}",
+            kodan.dvd,
+            direct.dvd
+        );
+    }
+}
+
+#[test]
+fn direct_deploy_gap_shrinks_on_capable_hardware() {
+    // On the 1070 Ti the computational bottleneck eases, so direct
+    // deployment closes most of the gap to Kodan (paper Section 5.1).
+    let artifacts = test_artifacts();
+    let env = env();
+    let world = test_world();
+    let mission = Mission::new(&env, &world, params());
+
+    let gap = |target: HwTarget| {
+        let direct_logic = SelectionLogic::direct_deploy(
+            artifacts,
+            target,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let direct = mission.run_with_runtime(
+            &Runtime::new(direct_logic, artifacts.engine.clone()),
+            SystemKind::DirectDeploy,
+        );
+        let kodan_logic =
+            artifacts.select_with_capacity(target, env.frame_deadline, env.capacity_fraction);
+        let kodan = mission.run_with_runtime(
+            &Runtime::new(kodan_logic, artifacts.engine.clone()),
+            SystemKind::Kodan,
+        );
+        kodan.dvd - direct.dvd
+    };
+    let orin_gap = gap(HwTarget::OrinAgx15W);
+    let gpu_gap = gap(HwTarget::Gtx1070Ti);
+    assert!(
+        gpu_gap < orin_gap,
+        "gpu gap {gpu_gap} should be smaller than orin gap {orin_gap}"
+    );
+}
+
+#[test]
+fn every_technique_set_produces_a_valid_policy() {
+    let artifacts = test_artifacts();
+    let env = env();
+    for techniques in [
+        TechniqueSet::all(),
+        TechniqueSet::tiling_only(),
+        TechniqueSet::elision_only(),
+        TechniqueSet::specialization_only(),
+    ] {
+        let logic = SelectionLogic::build_restricted(
+            artifacts,
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+            techniques,
+        );
+        assert_eq!(logic.actions().len(), artifacts.contexts.len());
+        assert!(!logic.models().is_empty());
+        assert!(logic.estimate().dvd >= 0.0);
+        // The full technique set never does worse than any restriction.
+        let full = SelectionLogic::build(
+            artifacts,
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        assert!(
+            full.estimate().dvd >= logic.estimate().dvd - 0.02,
+            "full kodan {} vs restricted {}",
+            full.estimate().dvd,
+            logic.estimate().dvd
+        );
+    }
+}
+
+#[test]
+fn elision_only_keeps_direct_deploy_tiling() {
+    let artifacts = test_artifacts();
+    let env = env();
+    let elision = SelectionLogic::build_restricted(
+        artifacts,
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+        TechniqueSet::elision_only(),
+    );
+    let direct = SelectionLogic::direct_deploy(
+        artifacts,
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    assert_eq!(elision.grid(), direct.grid());
+}
+
+#[test]
+fn bent_pipe_is_compute_free_and_value_neutral() {
+    let env = env();
+    let world = test_world();
+    let mission = Mission::new(&env, &world, params());
+    let report = mission.run_bent_pipe();
+    assert_eq!(report.mean_frame_time.as_seconds(), 0.0);
+    let prevalence = report.accounting.observed_value_px / report.accounting.observed_px;
+    assert!((report.dvd - prevalence).abs() < 1e-9);
+}

@@ -1,0 +1,33 @@
+//! Shared fixtures for the cross-crate integration tests.
+//!
+//! Everything here is sized for debug-mode test runs: a small dataset and
+//! the fast training configuration. The pipeline is identical to the
+//! evaluation one — only the budgets shrink.
+
+use kodan::pipeline::{Transformation, TransformationArtifacts};
+use kodan::KodanConfig;
+use kodan_geodata::{Dataset, DatasetConfig, World};
+use kodan_ml::ModelArch;
+use std::sync::OnceLock;
+
+/// The shared test world.
+pub fn test_world() -> World {
+    World::new(42)
+}
+
+/// A small representative dataset on the shared world.
+pub fn test_dataset() -> Dataset {
+    let mut cfg = DatasetConfig::small(1);
+    cfg.frame_count = 12;
+    cfg.frame_px = 132;
+    Dataset::sample(&test_world(), &cfg)
+}
+
+/// Transformation artifacts for App 4, computed once per test binary.
+pub fn test_artifacts() -> &'static TransformationArtifacts {
+    static ARTIFACTS: OnceLock<TransformationArtifacts> = OnceLock::new();
+    ARTIFACTS.get_or_init(|| {
+        Transformation::new(KodanConfig::fast(7))
+            .run(&test_dataset(), ModelArch::ResNet50DilatedPpm)
+    })
+}

@@ -1,0 +1,78 @@
+//! Determinism integration tests: the entire system — dataset,
+//! transformation, selection and missions — must be bit-reproducible
+//! from its seeds, because the paper-figure benches depend on it.
+
+mod common;
+
+use kodan::mission::{Mission, MissionParams, SpaceEnvironment, SystemKind};
+use kodan::pipeline::Transformation;
+use kodan::runtime::Runtime;
+use kodan::KodanConfig;
+use kodan_geodata::{Dataset, DatasetConfig, World};
+use kodan_hw::HwTarget;
+use kodan_ml::ModelArch;
+
+fn small_dataset(seed: u64) -> Dataset {
+    let mut cfg = DatasetConfig::small(seed);
+    cfg.frame_count = 8;
+    cfg.frame_px = 132;
+    Dataset::sample(&World::new(42), &cfg)
+}
+
+#[test]
+fn transformation_is_reproducible() {
+    let dataset = small_dataset(1);
+    let a = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+    let b = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_change_the_artifacts() {
+    let dataset = small_dataset(1);
+    let a = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+    let b = Transformation::new(KodanConfig::fast(10))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn missions_are_reproducible() {
+    let dataset = small_dataset(1);
+    let artifacts = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = World::new(42);
+    let params = MissionParams {
+        sample_frames: 4,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 1.0,
+    };
+    let run = || {
+        let logic = artifacts.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let runtime = Runtime::new(logic, artifacts.engine.clone());
+        Mission::new(&env, &world, params).run_with_runtime(&runtime, SystemKind::Kodan)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn selection_is_reproducible_across_rederivations() {
+    let dataset = small_dataset(1);
+    let artifacts = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+    let env = SpaceEnvironment::fixed(0.21);
+    for target in HwTarget::ALL {
+        let a = artifacts.select_with_capacity(target, env.frame_deadline, env.capacity_fraction);
+        let b = artifacts.select_with_capacity(target, env.frame_deadline, env.capacity_fraction);
+        assert_eq!(a, b, "selection for {target} not reproducible");
+    }
+}

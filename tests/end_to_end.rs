@@ -1,0 +1,150 @@
+//! End-to-end integration: dataset -> transformation -> selection ->
+//! runtime -> day-scale mission, asserting the paper-shape invariants
+//! that the whole system exists to produce.
+
+mod common;
+
+use common::{test_artifacts, test_world};
+use kodan::mission::{Mission, MissionParams, SpaceEnvironment, SystemKind};
+use kodan::runtime::Runtime;
+use kodan::selection::SelectionLogic;
+use kodan_hw::HwTarget;
+
+fn mission_params() -> MissionParams {
+    MissionParams {
+        sample_frames: 8,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 2.0,
+    }
+}
+
+#[test]
+fn full_pipeline_beats_bent_pipe_on_every_target() {
+    let artifacts = test_artifacts();
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = test_world();
+    let mission = Mission::new(&env, &world, mission_params());
+    let bent = mission.run_bent_pipe();
+
+    for target in HwTarget::ALL {
+        let logic =
+            artifacts.select_with_capacity(target, env.frame_deadline, env.capacity_fraction);
+        let runtime = Runtime::new(logic, artifacts.engine.clone());
+        let kodan = mission.run_with_runtime(&runtime, SystemKind::Kodan);
+        assert!(
+            kodan.dvd > bent.dvd * 1.3,
+            "{target}: kodan {} vs bent {}",
+            kodan.dvd,
+            bent.dvd
+        );
+    }
+}
+
+#[test]
+fn kodan_meets_the_deadline_everywhere() {
+    let artifacts = test_artifacts();
+    let env = SpaceEnvironment::fixed(0.21);
+    for target in HwTarget::ALL {
+        let logic =
+            artifacts.select_with_capacity(target, env.frame_deadline, env.capacity_fraction);
+        assert!(
+            logic.estimate().frame_time <= env.frame_deadline,
+            "{target}: selected {} s against {} s deadline",
+            logic.estimate().frame_time.as_seconds(),
+            env.frame_deadline.as_seconds()
+        );
+    }
+}
+
+#[test]
+fn direct_deploy_busts_the_deadline_on_flight_hardware() {
+    let artifacts = test_artifacts();
+    let env = SpaceEnvironment::fixed(0.21);
+    let logic = SelectionLogic::direct_deploy(
+        artifacts,
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    // App 4 at 121 tiles on the Orin: ~194 s against ~22 s.
+    assert!(logic.estimate().frame_time > env.frame_deadline * 5.0);
+    assert!(logic.estimate().processed_fraction < 0.2);
+}
+
+#[test]
+fn kodan_runtime_output_is_precise() {
+    let artifacts = test_artifacts();
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = test_world();
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let runtime = Runtime::new(logic, artifacts.engine.clone());
+    let mission = Mission::new(&env, &world, mission_params());
+    let frames = mission.sample_frames();
+    let (total, _) = runtime.process_frames(frames.iter());
+    let observed_prevalence = total.observed_value_px as f64 / total.observed_px as f64;
+    assert!(
+        total.precision() > observed_prevalence + 0.2,
+        "runtime precision {} vs prevalence {}",
+        total.precision(),
+        observed_prevalence
+    );
+}
+
+#[test]
+fn selection_estimate_predicts_mission_behavior() {
+    // The optimizer's estimate and the measured mission should agree on
+    // the deadline outcome and roughly on DVD.
+    let artifacts = test_artifacts();
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = test_world();
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let estimate = *logic.estimate();
+    let runtime = Runtime::new(logic, artifacts.engine.clone());
+    let mission = Mission::new(&env, &world, mission_params());
+    let report = mission.run_with_runtime(&runtime, SystemKind::Kodan);
+    assert_eq!(
+        estimate.processed_fraction >= 1.0,
+        report.processed_fraction >= 1.0,
+        "deadline outcome mismatch"
+    );
+    assert!(
+        (estimate.dvd - report.dvd).abs() < 0.25,
+        "estimate {} vs measured {}",
+        estimate.dvd,
+        report.dvd
+    );
+}
+
+#[test]
+fn mission_reports_are_internally_consistent() {
+    let artifacts = test_artifacts();
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = test_world();
+    let mission = Mission::new(&env, &world, mission_params());
+    let logic = artifacts.select_with_capacity(
+        HwTarget::CoreI7_7800X,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let runtime = Runtime::new(logic, artifacts.engine.clone());
+    for report in [
+        mission.run_bent_pipe(),
+        mission.run_with_runtime(&runtime, SystemKind::Kodan),
+    ] {
+        let a = &report.accounting;
+        assert!(a.produced_value_px <= a.produced_px + 1e-6);
+        assert!(a.downlinked_px() <= a.capacity_px + 1e-6);
+        assert!((0.0..=1.0).contains(&report.dvd), "dvd {}", report.dvd);
+        assert!((0.0..=1.0).contains(&report.observed_hv_downlinked));
+        assert!(report.processed_fraction > 0.0 && report.processed_fraction <= 1.0);
+    }
+}
