@@ -35,8 +35,10 @@ fn main() {
         config.train.epochs = 40;
         config.context_count = k;
         let artifacts =
-            Transformation::new(config).run(&dataset, ModelArch::ResNet50DilatedPpm);
-        let ga = artifacts.grid_artifacts(6);
+            Transformation::new(config)
+            .run(&dataset, ModelArch::ResNet50DilatedPpm)
+            .expect("transformation succeeds");
+        let ga = artifacts.grid_artifacts(6).expect("grid 6 swept");
         let logic = artifacts.select_with_capacity(
             HwTarget::OrinAgx15W,
             env.frame_deadline,

@@ -40,7 +40,7 @@ fn main() {
         ModelArch::ResNet101DilatedPpm,
     ] {
         let artifacts = bench_artifacts(arch);
-        let ga = artifacts.grid_artifacts(6);
+        let ga = artifacts.grid_artifacts(6).expect("grid 6 swept");
         let train_tiles = train.tiles(6);
         let val_tiles = val.tiles(6);
         let k = artifacts.contexts.len();

@@ -40,8 +40,10 @@ fn main() {
     ] {
         let mut config = bench_kodan_config();
         config.generation = generation;
-        let artifacts = Transformation::new(config).run(&dataset, arch);
-        let ga = artifacts.grid_artifacts(6);
+        let artifacts = Transformation::new(config)
+            .run(&dataset, arch)
+            .expect("transformation succeeds");
+        let ga = artifacts.grid_artifacts(6).expect("grid 6 swept");
         let logic = artifacts.select_with_capacity(
             HwTarget::OrinAgx15W,
             env.frame_deadline,
@@ -57,7 +59,8 @@ fn main() {
 
         // For expert contexts, also report the position-only map engine.
         if artifacts.contexts.expert_surface_map().is_some() {
-            let map_engine = ExpertMapEngine::new(*world.surface(), &artifacts.contexts);
+            let map_engine = ExpertMapEngine::new(*world.surface(), &artifacts.contexts)
+                .expect("expert contexts carry a surface map");
             let (_, val) = dataset.split(0.7, config.seed);
             let val_tiles = val.tiles(6);
             println!(

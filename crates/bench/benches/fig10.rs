@@ -47,7 +47,7 @@ fn main() {
 
     // Group results per app for per-app normalization.
     let mut results: Vec<(String, f64, f64)> = Vec::new();
-    let mut per_app_max: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    let mut per_app_max: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
     for (label, arch, target, is_kodan) in &named_points {
         let artifacts = bench_artifacts(*arch);
         let logic = if *is_kodan {

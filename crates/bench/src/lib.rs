@@ -12,6 +12,9 @@
 //! mission day. Paper-scale runs just swap in
 //! [`kodan::config::KodanConfig::evaluation`].
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use kodan::config::KodanConfig;
 use kodan::mission::{Mission, MissionParams, MissionReport, SpaceEnvironment, SystemKind};
 use kodan::pipeline::{Transformation, TransformationArtifacts};
@@ -60,7 +63,9 @@ pub fn bench_kodan_config() -> KodanConfig {
 pub fn bench_artifacts(arch: ModelArch) -> TransformationArtifacts {
     let world = bench_world();
     let dataset = Dataset::sample(&world, &bench_dataset_config());
-    Transformation::new(bench_kodan_config()).run(&dataset, arch)
+    Transformation::new(bench_kodan_config())
+        .run(&dataset, arch)
+        .expect("bench transformation succeeds")
 }
 
 /// Mission sampling parameters used by every figure.

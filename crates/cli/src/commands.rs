@@ -55,10 +55,12 @@ fn build_config(options: &Options) -> KodanConfig {
     config
 }
 
-fn build_artifacts(options: &Options) -> (World, TransformationArtifacts) {
+fn build_artifacts(options: &Options) -> Result<(World, TransformationArtifacts), String> {
     let (world, dataset) = build_dataset(options);
-    let artifacts = Transformation::new(build_config(options)).run(&dataset, options.app);
-    (world, artifacts)
+    let artifacts = Transformation::new(build_config(options))
+        .run(&dataset, options.app)
+        .map_err(|e| format!("transformation failed: {e}"))?;
+    Ok((world, artifacts))
 }
 
 /// `kodan dataset`
@@ -105,7 +107,7 @@ pub fn contexts(options: &Options) -> Result<(), String> {
 
 /// `kodan transform`
 pub fn transform(options: &Options) -> Result<(), String> {
-    let (_, artifacts) = build_artifacts(options);
+    let (_, artifacts) = build_artifacts(options)?;
     println!(
         "transformed {} with {} contexts (engine agreement {:.2})",
         options.app,
@@ -123,7 +125,7 @@ pub fn transform(options: &Options) -> Result<(), String> {
         );
     }
     println!("context-specialized composite at 36 tiles/frame:");
-    let ga = artifacts.grid_artifacts(6);
+    let ga = artifacts.grid_artifacts(6).map_err(|e| e.to_string())?;
     println!(
         "  accuracy {:.3} -> {:.3}, precision {:.3} -> {:.3}",
         ga.global_eval_all.accuracy(),
@@ -136,7 +138,7 @@ pub fn transform(options: &Options) -> Result<(), String> {
 
 /// `kodan select`
 pub fn select(options: &Options) -> Result<(), String> {
-    let (_, artifacts) = build_artifacts(options);
+    let (_, artifacts) = build_artifacts(options)?;
     let env = SpaceEnvironment::landsat(options.sats);
     let logic = artifacts.select_with_capacity(
         options.target,
@@ -173,7 +175,7 @@ pub fn select(options: &Options) -> Result<(), String> {
 
 /// `kodan mission`
 pub fn mission(options: &Options) -> Result<(), String> {
-    let (world, artifacts) = build_artifacts(options);
+    let (world, artifacts) = build_artifacts(options)?;
     let env = SpaceEnvironment::landsat(options.sats);
     let mission = Mission::new(&env, &world, MissionParams::default());
 
@@ -222,7 +224,7 @@ pub fn mission(options: &Options) -> Result<(), String> {
 
 /// `kodan coverage`
 pub fn coverage(options: &Options) -> Result<(), String> {
-    let (_, artifacts) = build_artifacts(options);
+    let (_, artifacts) = build_artifacts(options)?;
     let env = SpaceEnvironment::landsat(1);
     let cmp = coverage_comparison(
         &artifacts,

@@ -92,7 +92,8 @@ mod tests {
         ds_cfg.frame_px = 132;
         let dataset = Dataset::sample(&world, &ds_cfg);
         let artifacts = Transformation::new(KodanConfig::fast(3))
-            .run(&dataset, ModelArch::ResNet101DilatedPpm);
+            .run(&dataset, ModelArch::ResNet101DilatedPpm)
+            .expect("transformation succeeds");
         let cmp = coverage_comparison(
             &artifacts,
             HwTarget::OrinAgx15W,

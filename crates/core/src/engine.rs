@@ -10,6 +10,7 @@
 //! trained for a sibling context, a cost the evaluation captures.
 
 use crate::context::{ContextId, ContextSet};
+use crate::KodanError;
 use kodan_geodata::tile::TileImage;
 use kodan_ml::metrics::DistanceMetric;
 use kodan_ml::transform::{FittedTransform, TransformKind};
@@ -154,20 +155,21 @@ pub struct ExpertMapEngine {
 impl ExpertMapEngine {
     /// Builds a map engine for an expert-generated context set.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `contexts` was not expert-generated.
+    /// Returns [`KodanError::NotExpertGenerated`] if `contexts` was not
+    /// expert-generated (auto-clustered contexts carry no surface map).
     pub fn new(
         map: kodan_geodata::surface::SurfaceMap,
         contexts: &ContextSet,
-    ) -> ExpertMapEngine {
+    ) -> Result<ExpertMapEngine, KodanError> {
         let surface_to_context = *contexts
             .expert_surface_map()
-            .expect("expert map engine requires expert-generated contexts");
-        ExpertMapEngine {
+            .ok_or(KodanError::NotExpertGenerated)?;
+        Ok(ExpertMapEngine {
             map,
             surface_to_context,
-        }
+        })
     }
 
     /// Classifies a tile by looking up the surface under its center.
@@ -308,7 +310,8 @@ mod tests {
         let dataset = Dataset::sample(&world, &cfg);
         let tiles = dataset.tiles(3);
         let contexts = ContextSet::generate_expert(&tiles);
-        let engine = ExpertMapEngine::new(*world.surface(), &contexts);
+        let engine =
+            ExpertMapEngine::new(*world.surface(), &contexts).expect("contexts are expert");
         let agreement = engine.agreement_on(&tiles, &contexts);
         assert!(agreement > 0.75, "map-engine agreement {agreement}");
     }
@@ -324,10 +327,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expert-generated")]
     fn expert_map_engine_rejects_auto_contexts() {
         let (_, _, contexts) = setup();
         let world = World::new(42);
-        let _ = ExpertMapEngine::new(*world.surface(), &contexts);
+        assert_eq!(
+            ExpertMapEngine::new(*world.surface(), &contexts).unwrap_err(),
+            KodanError::NotExpertGenerated
+        );
     }
 }

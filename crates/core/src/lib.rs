@@ -37,13 +37,19 @@
 //! let dataset = Dataset::sample(&world, &DatasetConfig::small(1));
 //! let config = KodanConfig::fast(7);
 //! let artifacts = Transformation::new(config)
-//!     .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+//!     .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+//!     .expect("transformation succeeds");
 //! let logic = artifacts.select_for_target(
 //!     HwTarget::OrinAgx15W,
 //!     kodan_cote::time::Duration::from_seconds(22.0),
 //! );
 //! println!("selected {} tiles/frame", logic.tiles_per_frame());
 //! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
 
 pub mod config;
 pub mod context;
@@ -64,3 +70,40 @@ pub use context::{Context, ContextId, ContextSet};
 pub use engine::ContextEngine;
 pub use pipeline::{Transformation, TransformationArtifacts};
 pub use selection::SelectionLogic;
+
+/// Errors surfaced by the transformation and runtime paths.
+///
+/// On-orbit code must not panic — there is no operator to restart a
+/// crashed pipeline — so conditions that used to `panic!`/`expect` are
+/// reported through this enum instead and handled by the caller (retry,
+/// fall back to direct deployment, or abort the transformation on the
+/// ground where it is cheap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KodanError {
+    /// A grid dimension was requested that the transformation never
+    /// swept; carries the offending grid.
+    UnknownGrid(usize),
+    /// The configuration lists no tile grids, so no models can be
+    /// trained and no selection logic derived.
+    NoGrids,
+    /// An expert map engine was requested for a context set that was
+    /// not expert-generated (auto-clustered contexts carry no surface
+    /// map to look tiles up in).
+    NotExpertGenerated,
+}
+
+impl fmt::Display for KodanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KodanError::UnknownGrid(grid) => {
+                write!(f, "grid {grid} was not swept by the transformation")
+            }
+            KodanError::NoGrids => write!(f, "configuration lists no tile grids"),
+            KodanError::NotExpertGenerated => {
+                write!(f, "expert map engine requires expert-generated contexts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KodanError {}

@@ -403,7 +403,9 @@ mod tests {
         ds_cfg.frame_count = 12;
         ds_cfg.frame_px = 132;
         let dataset = Dataset::sample(world, &ds_cfg);
-        Transformation::new(KodanConfig::fast(3)).run(&dataset, ModelArch::ResNet50DilatedPpm)
+        Transformation::new(KodanConfig::fast(3))
+            .run(&dataset, ModelArch::ResNet50DilatedPpm)
+            .expect("transformation succeeds")
     }
 
     fn params() -> MissionParams {

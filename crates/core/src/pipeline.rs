@@ -21,6 +21,7 @@ use crate::context::ContextSet;
 use crate::engine::ContextEngine;
 use crate::selection::{SelectionLogic, DEFAULT_CAPACITY_FRACTION};
 use crate::specialize::SpecializedModel;
+use crate::KodanError;
 use kodan_cote::time::Duration;
 use kodan_geodata::dataset::Dataset;
 use kodan_geodata::tile::TileImage;
@@ -109,14 +110,15 @@ impl TransformationArtifacts {
 
     /// The artifacts for a specific grid dimension.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the grid was not part of the sweep.
-    pub fn grid_artifacts(&self, grid: usize) -> &GridArtifacts {
+    /// Returns [`KodanError::UnknownGrid`] if the grid was not part of
+    /// the sweep.
+    pub fn grid_artifacts(&self, grid: usize) -> Result<&GridArtifacts, KodanError> {
         self.grids
             .iter()
             .find(|g| g.grid == grid)
-            .unwrap_or_else(|| panic!("grid {grid} was not swept"))
+            .ok_or(KodanError::UnknownGrid(grid))
     }
 }
 
@@ -144,11 +146,15 @@ impl Transformation {
 
     /// Runs the one-time transformation for a reference application.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the dataset's frames are not divisible by every swept
-    /// tile grid.
-    pub fn run(&self, dataset: &Dataset, arch: ModelArch) -> TransformationArtifacts {
+    /// Returns [`KodanError::NoGrids`] if the configuration lists no
+    /// tile grids to sweep.
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        arch: ModelArch,
+    ) -> Result<TransformationArtifacts, KodanError> {
         let config = &self.config;
         let (train, val) = dataset.split(config.train_fraction, config.seed);
 
@@ -158,7 +164,7 @@ impl Transformation {
             .tile_grids
             .iter()
             .min_by_key(|&&g| (g as i64 - 6).unsigned_abs())
-            .expect("config has grids");
+            .ok_or(KodanError::NoGrids)?;
         let context_train_tiles = train.tiles(context_grid);
         let contexts = match config.generation {
             ContextGenerationKind::Auto => ContextSet::generate_auto(
@@ -209,14 +215,14 @@ impl Transformation {
             })
             .collect();
 
-        TransformationArtifacts {
+        Ok(TransformationArtifacts {
             config: *config,
             arch,
             contexts,
             engine,
             engine_val_agreement,
             grids,
-        }
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -279,7 +285,7 @@ impl Transformation {
         order.sort_by(|&a, &b| {
             let ha = contexts.context(crate::context::ContextId(a)).high_value_fraction;
             let hb = contexts.context(crate::context::ContextId(b)).high_value_fraction;
-            ha.partial_cmp(&hb).expect("fractions are finite")
+            ha.total_cmp(&hb)
         });
         for pair in order.chunks_exact(2) {
             let (a, b) = (pair[0], pair[1]);
@@ -432,7 +438,9 @@ mod tests {
         ds_cfg.frame_count = 14;
         ds_cfg.frame_px = 132;
         let dataset = Dataset::sample(&world, &ds_cfg);
-        Transformation::new(KodanConfig::fast(7)).run(&dataset, ModelArch::ResNet50DilatedPpm)
+        Transformation::new(KodanConfig::fast(7))
+            .run(&dataset, ModelArch::ResNet50DilatedPpm)
+            .expect("transformation succeeds")
     }
 
     #[test]
@@ -506,11 +514,10 @@ mod tests {
     }
 
     #[test]
-    fn grid_artifacts_lookup_panics_for_unknown_grid() {
+    fn grid_artifacts_lookup_errors_for_unknown_grid() {
         let a = artifacts();
-        assert_eq!(a.grid_artifacts(11).grid, 11);
-        let result = std::panic::catch_unwind(|| a.grid_artifacts(5));
-        assert!(result.is_err());
+        assert_eq!(a.grid_artifacts(11).expect("grid 11 swept").grid, 11);
+        assert_eq!(a.grid_artifacts(5), Err(KodanError::UnknownGrid(5)));
     }
 
     #[test]
@@ -528,7 +535,9 @@ mod tests {
         let dataset = Dataset::sample(&world, &ds_cfg);
         let mut config = KodanConfig::fast(7);
         config.generation = crate::config::ContextGenerationKind::Expert;
-        let a = Transformation::new(config).run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        let a = Transformation::new(config)
+            .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+            .expect("transformation succeeds");
         assert!(a.contexts.expert_surface_map().is_some());
         assert!(a.contexts.len() >= 2);
         let logic = a.select_for_target(HwTarget::OrinAgx15W, Duration::from_seconds(22.0));
@@ -544,7 +553,9 @@ mod tests {
         let dataset = Dataset::sample(&world, &ds_cfg);
         let mut config = KodanConfig::fast(7);
         config.generation = crate::config::ContextGenerationKind::AutoSweep { max_contexts: 5 };
-        let a = Transformation::new(config).run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        let a = Transformation::new(config)
+            .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+            .expect("transformation succeeds");
         assert!((2..=5).contains(&a.contexts.len()), "k = {}", a.contexts.len());
     }
 }

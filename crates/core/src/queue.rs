@@ -126,11 +126,8 @@ impl DownlinkQueue {
         self.occupied_bits += entry.bits;
         if self.occupied_bits > self.storage_bits {
             // Evict lowest-density first.
-            self.entries.sort_by(|a, b| {
-                a.density()
-                    .partial_cmp(&b.density())
-                    .expect("densities are finite")
-            });
+            self.entries
+                .sort_by(|a, b| a.density().total_cmp(&b.density()));
             while self.occupied_bits > self.storage_bits && !self.entries.is_empty() {
                 let victim = self.entries.remove(0);
                 self.occupied_bits -= victim.bits;
@@ -149,11 +146,8 @@ impl DownlinkQueue {
             return report;
         }
         // Highest density last for cheap pop.
-        self.entries.sort_by(|a, b| {
-            a.density()
-                .partial_cmp(&b.density())
-                .expect("densities are finite")
-        });
+        self.entries
+            .sort_by(|a, b| a.density().total_cmp(&b.density()));
         let mut remaining = budget_bits;
         while remaining > 0.0 {
             let Some(entry) = self.entries.pop() else {

@@ -183,7 +183,8 @@ mod tests {
         ds_cfg.frame_px = 132;
         let dataset = Dataset::sample(&world, &ds_cfg);
         let artifacts = Transformation::new(KodanConfig::fast(3))
-            .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+            .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+            .expect("transformation succeeds");
         let logic = artifacts.select_for_target(
             HwTarget::OrinAgx15W,
             Duration::from_seconds(22.0),

@@ -217,10 +217,21 @@ pub fn tile_labels(tile: &TileImage, resolution: usize) -> Vec<bool> {
     resize_mask(&truth_hv, tile.size(), resolution)
 }
 
+/// The maximum number of distinct tiles visited when sampling training
+/// pixels. Spreading the budget over many tiles keeps the sample's class
+/// balance close to the population's even though cloud cover is heavily
+/// frame-correlated; the cap bounds the featurization cost at large tile
+/// grids.
+const MAX_SAMPLE_TILES: usize = 32;
+
 /// Samples up to `max_pixels` (feature, label) rows from tiles,
-/// deterministically. Tiles are visited in shuffled order; all pixels of
-/// a visited tile are taken until the budget runs out, keeping intra-tile
-/// spatial structure in the features.
+/// deterministically. Tiles are visited in shuffled order and the pixel
+/// budget is spread evenly across up to [`MAX_SAMPLE_TILES`] of them
+/// (strided within each tile), so the sample spans many frames. Taking
+/// whole tiles instead is tempting but degenerate: cloud cover is
+/// frame-correlated, and a budget-sized run of tiles from a few clear
+/// (or overcast) frames yields a single-class sample and a
+/// constant-output model.
 fn sample_training_pixels(
     tiles: &[TileImage],
     resolution: usize,
@@ -234,21 +245,27 @@ fn sample_training_pixels(
         let j = rng.random_range(0..=i);
         order.swap(i, j);
     }
+    let visit = order.len().min(MAX_SAMPLE_TILES).max(1);
+    let per_tile = max_pixels.div_ceil(visit).max(1);
     let mut x = Vec::new();
     let mut y = Vec::new();
-    for &idx in &order {
+    for &idx in order.iter().take(visit) {
         if y.len() >= max_pixels {
             break;
         }
         let tile = &tiles[idx];
         let feats = tile_features(tile, resolution);
         let labels = tile_labels(tile, resolution);
-        for (i, label) in labels.iter().enumerate() {
-            if y.len() >= max_pixels {
-                break;
-            }
+        let total = labels.len();
+        let take = per_tile.min(total).min(max_pixels - y.len());
+        let stride = (total / take).max(1);
+        let mut taken = 0;
+        let mut i = 0;
+        while taken < take && i < total {
             x.extend_from_slice(&feats[i * FEATURE_DIM..i * FEATURE_DIM + feature_budget]);
-            y.push(*label);
+            y.push(labels[i]);
+            taken += 1;
+            i += stride;
         }
     }
     (x, y)

@@ -119,7 +119,8 @@ mod tests {
         ds_cfg.frame_px = 132;
         let dataset = Dataset::sample(&world, &ds_cfg);
         let artifacts = Transformation::new(KodanConfig::fast(3))
-            .run(&dataset, ModelArch::ResNet50DilatedPpm);
+            .run(&dataset, ModelArch::ResNet50DilatedPpm)
+            .expect("transformation succeeds");
         tiling_sweep(
             &artifacts,
             target,

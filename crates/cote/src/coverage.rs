@@ -11,7 +11,7 @@ use crate::sensor::Imager;
 use crate::time::Duration;
 use crate::wrs::{SceneId, WorldReferenceSystem};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Result of a coverage analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,7 +49,7 @@ pub fn coverage(
     wrs: &WorldReferenceSystem,
     horizon: Duration,
 ) -> CoverageReport {
-    let mut scenes: HashSet<SceneId> = HashSet::new();
+    let mut scenes: BTreeSet<SceneId> = BTreeSet::new();
     let mut observations: u64 = 0;
     for orbit in constellation {
         let deadline = imager.frame_deadline(orbit);

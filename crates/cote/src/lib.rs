@@ -36,6 +36,9 @@
 //! assert!(!windows.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bodies;
 pub mod constellation;
 pub mod coords;

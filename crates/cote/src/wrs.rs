@@ -10,7 +10,7 @@
 
 use crate::coords::Geodetic;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Number of WRS-2 paths (distinct repeating ground tracks).
@@ -125,7 +125,7 @@ impl WorldReferenceSystem {
     where
         I: IntoIterator<Item = &'a Geodetic>,
     {
-        let set: HashSet<SceneId> = points.into_iter().map(|p| self.scene_of(p)).collect();
+        let set: BTreeSet<SceneId> = points.into_iter().map(|p| self.scene_of(p)).collect();
         set.len()
     }
 

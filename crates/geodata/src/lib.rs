@@ -39,6 +39,9 @@
 //! assert!((0.0..=1.0).contains(&cloudy));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod augment;
 pub mod clouds;
 pub mod dataset;

@@ -28,6 +28,9 @@
 //! assert!((t.as_seconds() - 0.6188).abs() < 1e-9); // Table 1: 618.8 ms
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod latency;
 pub mod power;
 pub mod table1;

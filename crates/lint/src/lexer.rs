@@ -1,0 +1,503 @@
+//! A small, string/char/comment-correct Rust lexer.
+//!
+//! The analyzer must not be fooled by `// unwrap()` in a comment or
+//! `"HashMap"` in a string literal, so before any rule pattern runs the
+//! source is *classified*: every byte is labeled as code, comment,
+//! string or char-literal content. Rules then match only against the
+//! code bytes, while suppression comments are read only from the
+//! comment bytes.
+//!
+//! Handled syntax:
+//!
+//! - line comments (`//`, `///`, `//!`),
+//! - block comments, including nesting (`/* /* */ */`),
+//! - string literals with escapes (`"a \" b"`),
+//! - raw strings with any hash count (`r"…"`, `r#"…"#`, `r##"…"##`),
+//! - byte strings and raw byte strings (`b"…"`, `br#"…"#`),
+//! - char and byte-char literals (`'x'`, `'\n'`, `'\u{1F600}'`, `b'x'`),
+//! - lifetimes, which look like unterminated char literals (`'a`,
+//!   `'static`, `'_`) and must stay classified as code.
+
+/// The classification of one source byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteClass {
+    /// Executable code, identifiers, punctuation, whitespace.
+    Code,
+    /// Comment delimiters and comment text.
+    Comment,
+    /// String-literal delimiters and contents (incl. raw/byte strings).
+    Str,
+    /// Char-literal delimiters and contents.
+    Char,
+}
+
+/// Classifies every byte of `src`.
+///
+/// The returned vector has exactly `src.len()` entries; multi-byte UTF-8
+/// sequences get the class of their first byte.
+pub fn classify(src: &str) -> Vec<ByteClass> {
+    let bytes = src.as_bytes();
+    let mut classes = vec![ByteClass::Code; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment: runs to end of line.
+                let end = line_end(bytes, i);
+                fill(&mut classes, i, end, ByteClass::Comment);
+                i = end;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let end = block_comment_end(bytes, i);
+                fill(&mut classes, i, end, ByteClass::Comment);
+                i = end;
+            }
+            b'"' => {
+                let end = string_end(bytes, i + 1);
+                fill(&mut classes, i, end, ByteClass::Str);
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_string_start(bytes, i) => {
+                let (start_quote, hashes) = raw_prefix(bytes, i);
+                if bytes.get(start_quote) == Some(&b'"') {
+                    let end = if is_raw(bytes, i) {
+                        raw_string_end(bytes, start_quote + 1, hashes)
+                    } else {
+                        string_end(bytes, start_quote + 1)
+                    };
+                    fill(&mut classes, i, end, ByteClass::Str);
+                    i = end;
+                } else if bytes.get(start_quote) == Some(&b'\'') && !is_raw(bytes, i) {
+                    // Byte char literal b'x'.
+                    let end = char_literal_end(bytes, start_quote + 1);
+                    fill(&mut classes, i, end, ByteClass::Char);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_span(bytes, i) {
+                    fill(&mut classes, i, end, ByteClass::Char);
+                    i = end;
+                } else {
+                    // A lifetime: code.
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                // Skip identifiers/numbers wholesale so an `r` or `b`
+                // inside one (e.g. `attr"`, `sub"..."`) is never taken
+                // for a raw-string prefix.
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                // ...unless the identifier really is a string prefix
+                // (r, b, br, rb) glued to a quote — handled above only
+                // when it starts the identifier, so re-check here.
+                if j < bytes.len()
+                    && (bytes[j] == b'"' || bytes[j] == b'#')
+                    && is_raw_or_byte_string_start(bytes, i)
+                {
+                    // Let the next loop iteration handle it from `i`.
+                    let (start_quote, hashes) = raw_prefix(bytes, i);
+                    if bytes.get(start_quote) == Some(&b'"') {
+                        let end = if is_raw(bytes, i) {
+                            raw_string_end(bytes, start_quote + 1, hashes)
+                        } else {
+                            string_end(bytes, start_quote + 1)
+                        };
+                        fill(&mut classes, i, end, ByteClass::Str);
+                        i = end;
+                        continue;
+                    }
+                }
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+    classes
+}
+
+/// A single source line with rule-facing views of its text.
+#[derive(Debug, Clone)]
+pub struct MaskedLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The raw line text (no trailing newline).
+    pub raw: String,
+    /// The line with every non-code byte blanked to a space; rules
+    /// pattern-match against this.
+    pub code: String,
+    /// The line with every non-comment byte blanked; suppression
+    /// directives are read from this.
+    pub comment: String,
+}
+
+/// Splits classified source into per-line masked views.
+pub fn masked_lines(src: &str, classes: &[ByteClass]) -> Vec<MaskedLine> {
+    let mut lines = Vec::new();
+    let mut start = 0;
+    let mut number = 1;
+    let bytes = src.as_bytes();
+    while start <= bytes.len() {
+        let end = bytes[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| start + p)
+            .unwrap_or(bytes.len());
+        let raw = &src[start..end];
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::with_capacity(raw.len());
+        for (offset, ch) in raw.char_indices() {
+            let class = classes[start + offset];
+            code.push(if class == ByteClass::Code { ch } else { ' ' });
+            comment.push(if class == ByteClass::Comment { ch } else { ' ' });
+        }
+        lines.push(MaskedLine {
+            number,
+            raw: raw.to_string(),
+            code,
+            comment,
+        });
+        if end == bytes.len() {
+            break;
+        }
+        start = end + 1;
+        number += 1;
+    }
+    lines
+}
+
+fn fill(classes: &mut [ByteClass], start: usize, end: usize, class: ByteClass) {
+    let end = end.min(classes.len());
+    for slot in &mut classes[start..end] {
+        *slot = class;
+    }
+}
+
+fn line_end(bytes: &[u8], from: usize) -> usize {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|p| from + p)
+        .unwrap_or(bytes.len())
+}
+
+/// Finds the end (exclusive) of a possibly nested block comment starting
+/// at `from` (which points at `/*`). Unterminated comments run to EOF.
+fn block_comment_end(bytes: &[u8], from: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    bytes.len()
+}
+
+/// Finds the end (exclusive, past the closing quote) of a normal string
+/// whose contents start at `from`. Unterminated strings run to EOF.
+fn string_end(bytes: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Finds the end of a raw string whose contents start at `from`, closed
+/// by `"` followed by `hashes` `#`s.
+fn raw_string_end(bytes: &[u8], from: usize, hashes: usize) -> usize {
+    let mut i = from;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if bytes.get(i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// True when position `i` starts one of `r"`, `r#`, `b"`, `br`, `rb`
+/// followed by a string opener — i.e. a raw/byte string prefix.
+fn is_raw_or_byte_string_start(bytes: &[u8], i: usize) -> bool {
+    // Must not be in the middle of a longer identifier.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    let mut seen_r = false;
+    let mut seen_b = false;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'r' if !seen_r => {
+                seen_r = true;
+                j += 1;
+            }
+            b'b' if !seen_b => {
+                seen_b = true;
+                j += 1;
+            }
+            _ => break,
+        }
+        if j - i >= 2 {
+            break;
+        }
+    }
+    if j == i {
+        return false;
+    }
+    // After the prefix: either hashes then a quote (raw), or a quote.
+    if seen_r {
+        let mut k = j;
+        while bytes.get(k) == Some(&b'#') {
+            k += 1;
+        }
+        bytes.get(k) == Some(&b'"')
+    } else {
+        // Plain byte string b"…" or byte char b'…'.
+        bytes.get(j) == Some(&b'"') || bytes.get(j) == Some(&b'\'')
+    }
+}
+
+/// True if the prefix at `i` includes `r` (raw).
+fn is_raw(bytes: &[u8], i: usize) -> bool {
+    bytes[i] == b'r' || (bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'r'))
+}
+
+/// Returns (index of the opening quote, number of hashes) for the
+/// raw/byte-string prefix at `i`.
+fn raw_prefix(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while bytes.get(j + hashes) == Some(&b'#') {
+        hashes += 1;
+    }
+    (j + hashes, hashes)
+}
+
+/// If a char literal starts at `i` (pointing at `'`), returns its end
+/// (exclusive); returns `None` for lifetimes.
+fn char_literal_span(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        return Some(char_literal_end(bytes, i + 1));
+    }
+    if next == b'\'' {
+        // Empty '' — malformed; consume both quotes as char.
+        return Some(i + 2);
+    }
+    if next.is_ascii_alphanumeric() || next == b'_' {
+        // Could be 'a' (char) or 'a / 'static (lifetime): scan the
+        // identifier; a closing quote right after means char literal.
+        let mut j = i + 1;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'\'') {
+            return Some(j + 1);
+        }
+        return None; // lifetime
+    }
+    // Punctuation or multi-byte char: ''' is handled above; scan to the
+    // closing quote on the same line.
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'\'') {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// End (exclusive) of a char literal whose contents start at `from`
+/// (just past the opening quote).
+fn char_literal_end(bytes: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => return i, // malformed; stop at line end
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_view(src: &str) -> String {
+        let classes = classify(src);
+        src.char_indices()
+            .map(|(i, c)| {
+                if classes[i] == ByteClass::Code {
+                    c
+                } else {
+                    ' '
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_masked() {
+        let masked = code_view("let x = 1; // unwrap() here\nlet y = 2;");
+        assert!(masked.contains("let x = 1;"));
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn doc_comments_are_masked() {
+        let masked = code_view("/// calls panic! on error\nfn f() {}\n//! HashMap note");
+        assert!(!masked.contains("panic!"));
+        assert!(!masked.contains("HashMap"));
+        assert!(masked.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let masked = code_view("a /* outer /* inner unwrap() */ still */ b");
+        assert!(!masked.contains("unwrap"));
+        assert!(!masked.contains("still"));
+        assert!(masked.starts_with('a'));
+        assert!(masked.trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn string_literals_are_masked() {
+        let masked = code_view(r#"let s = "HashMap::unwrap()"; let t = 1;"#);
+        assert!(!masked.contains("HashMap"));
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let masked = code_view(r#"let s = "a \" unwrap() \" b"; code();"#);
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("code();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_masked() {
+        let masked = code_view(r##"let s = r#"contains "quotes" and unwrap()"#; after();"##);
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("after();"));
+    }
+
+    #[test]
+    fn raw_string_without_hashes() {
+        let masked = code_view(r#"let s = r"panic! inside"; after();"#);
+        assert!(!masked.contains("panic!"));
+        assert!(masked.contains("after();"));
+    }
+
+    #[test]
+    fn byte_strings_are_masked() {
+        let masked = code_view(r#"let s = b"unwrap()"; let r = br#; after();"#);
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("after();"));
+    }
+
+    #[test]
+    fn raw_byte_strings_are_masked() {
+        let masked = code_view(r##"let s = br#"panic!"#; after();"##);
+        assert!(!masked.contains("panic!"));
+        assert!(masked.contains("after();"));
+    }
+
+    #[test]
+    fn char_literals_are_masked_but_lifetimes_are_code() {
+        let masked = code_view("let c = '\"'; fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(masked.contains("fn f<'a>"), "lifetime mangled: {masked}");
+        assert!(masked.contains("&'static str"));
+        assert!(!masked.contains('"'));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let masked = code_view(r"let c = '\''; let d = '\u{1F600}'; done();");
+        assert!(masked.contains("done();"));
+        assert!(!masked.contains("1F600"));
+    }
+
+    #[test]
+    fn quote_in_string_does_not_start_char() {
+        let masked = code_view(r#"let s = "it's fine"; real();"#);
+        assert!(masked.contains("real();"));
+        assert!(!masked.contains("fine"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_or_b_is_not_string_prefix() {
+        let masked = code_view(r#"let var = super::thing; attr_b("x"); done();"#);
+        assert!(masked.contains("let var = super::thing;"));
+        assert!(masked.contains("attr_b("));
+        assert!(!masked.contains('x'));
+        assert!(masked.contains("done();"));
+    }
+
+    #[test]
+    fn masked_lines_split_and_number() {
+        let src = "fn a() {} // one\n\"two\"\nthree";
+        let classes = classify(src);
+        let lines = masked_lines(src, &classes);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].number, 1);
+        assert!(lines[0].code.contains("fn a() {}"));
+        assert!(lines[0].comment.contains("// one"));
+        assert!(!lines[1].code.contains("two"));
+        assert_eq!(lines[2].raw, "three");
+    }
+
+    #[test]
+    fn comment_view_holds_suppressions() {
+        let src = "x.sort(); // lint:allow(float-cmp): densities finite";
+        let classes = classify(src);
+        let lines = masked_lines(src, &classes);
+        assert!(lines[0].comment.contains("lint:allow(float-cmp)"));
+        assert!(!lines[0].code.contains("lint:allow"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof() {
+        let masked = code_view("code(); /* unterminated unwrap()");
+        assert!(masked.contains("code();"));
+        assert!(!masked.contains("unwrap"));
+    }
+}

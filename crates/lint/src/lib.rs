@@ -1,0 +1,65 @@
+//! kodan-lint: a workspace-wide determinism and panic-safety static
+//! analyzer for the Kodan reproduction.
+//!
+//! Kodan's central claim — that specialized on-orbit pipelines are
+//! reproducible on the ground — only holds if the codebase is free of
+//! two classes of hazard:
+//!
+//! 1. **Determinism hazards.** Wall-clock reads, entropy-seeded RNGs,
+//!    and iteration over `HashMap`/`HashSet` all make a run's output
+//!    depend on something other than its configuration, silently
+//!    breaking the ground/orbit equivalence the paper's evaluation
+//!    rests on.
+//! 2. **Panic hazards.** An `unwrap()` in the per-tile runtime path is
+//!    a latent mission abort: there is no operator in the loop to
+//!    restart a crashed satellite pipeline.
+//!
+//! Clippy can flag some of these, but not with path-scoped policy
+//! ("banned *here*, fine *there*"), and this workspace builds offline
+//! where external lint drivers may be unavailable. So the checks are
+//! implemented directly: a small string/comment-correct lexer
+//! ([`lexer`]), a rule table with per-path scoping ([`rules`]), and a
+//! scanner that walks the tree and reports violations ([`scan`]).
+//!
+//! # Using the library
+//!
+//! ```
+//! use kodan_lint::{default_rules, scan_source};
+//!
+//! let rules = default_rules();
+//! let hits = scan_source(
+//!     "crates/core/src/queue.rs",
+//!     "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+//!     &rules,
+//! );
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(hits[0].rule_id, "unwrap");
+//! ```
+//!
+//! # Suppressions
+//!
+//! A violation is silenced by a comment on the same or the preceding
+//! line naming the rule and giving a reason:
+//!
+//! ```text
+//! let first = items.first().unwrap(); // lint:allow(unwrap): len checked above
+//! ```
+//!
+//! Code under `#[cfg(test)]` is exempt from every rule that sets
+//! `exempt_test_code` (tests may unwrap freely).
+//!
+//! # Exit codes
+//!
+//! The `kodan-lint` binary exits with the bitwise OR of the categories
+//! that fired: determinism = 1, panic-safety = 2, hygiene = 4; 0 when
+//! clean, 64 on usage error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{default_rules, Category, Rule, RuleKind, ScopedRule};
+pub use scan::{check, scan_source, Diagnostic, Report};

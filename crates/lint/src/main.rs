@@ -1,0 +1,176 @@
+//! The `kodan-lint` command-line driver.
+//!
+//! ```text
+//! kodan-lint check [--root <dir>] [--format text|json]
+//! kodan-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean; otherwise the bitwise OR of determinism (1),
+//! panic-safety (2) and hygiene (4) category bits; 64 on usage error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use kodan_lint::{check, default_rules, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+kodan-lint: determinism & panic-safety analyzer for the Kodan workspace
+
+USAGE:
+    kodan-lint check [--root <dir>] [--format text|json]
+    kodan-lint --list-rules
+    kodan-lint --help
+
+Exit code is 0 when clean, else the OR of: 1 determinism,
+2 panic-safety, 4 hygiene. Usage errors exit 64.";
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(64)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut command = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--root" => {
+                i += 1;
+                root = PathBuf::from(args.get(i).ok_or("--root needs a value")?);
+            }
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format must be text or json, got {}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
+            "--list-rules" => {
+                list_rules();
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+
+    match command {
+        Some("check") => {
+            let rules = default_rules();
+            let report = check(&root, &rules).map_err(|e| format!("scan failed: {e}"))?;
+            match format {
+                Format::Text => print_text(&report),
+                Format::Json => print_json(&report),
+            }
+            let code = report.exit_code();
+            Ok(ExitCode::from(u8::try_from(code).unwrap_or(u8::MAX)))
+        }
+        _ => Err("no command given (try `kodan-lint check`)".to_string()),
+    }
+}
+
+fn list_rules() {
+    println!("{:<18} {:<13} description", "rule", "category");
+    for scoped in default_rules() {
+        println!(
+            "{:<18} {:<13} {}",
+            scoped.rule.id,
+            scoped.rule.category.name(),
+            scoped.rule.description.split_whitespace().collect::<Vec<_>>().join(" "),
+        );
+    }
+}
+
+fn print_text(report: &Report) {
+    for d in &report.diagnostics {
+        println!(
+            "{}:{}: [{}/{}] {}\n    {}",
+            d.path,
+            d.line,
+            d.category.name(),
+            d.rule_id,
+            d.message.split_whitespace().collect::<Vec<_>>().join(" "),
+            d.snippet,
+        );
+    }
+    println!(
+        "kodan-lint: {} file(s) scanned, {} violation(s)",
+        report.files_scanned,
+        report.diagnostics.len()
+    );
+}
+
+fn print_json(report: &Report) {
+    let mut out = String::from("{\n  \"files_scanned\": ");
+    out.push_str(&report.files_scanned.to_string());
+    out.push_str(",\n  \"exit_code\": ");
+    out.push_str(&report.exit_code().to_string());
+    out.push_str(",\n  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"path\": ");
+        out.push_str(&json_str(&d.path));
+        out.push_str(", \"line\": ");
+        out.push_str(&d.line.to_string());
+        out.push_str(", \"rule\": ");
+        out.push_str(&json_str(d.rule_id));
+        out.push_str(", \"category\": ");
+        out.push_str(&json_str(d.category.name()));
+        out.push_str(", \"snippet\": ");
+        out.push_str(&json_str(&d.snippet));
+        out.push('}');
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    println!("{out}");
+}
+
+/// Minimal JSON string encoder (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

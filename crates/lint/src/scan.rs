@@ -1,0 +1,369 @@
+//! The scanner: walks the workspace, applies every in-scope rule to the
+//! masked view of each file, honours `lint:allow` suppressions and the
+//! `#[cfg(test)]` exemption, and aggregates diagnostics into a report.
+
+use crate::lexer::{classify, masked_lines, MaskedLine};
+use crate::rules::{Category, RuleKind, ScopedRule};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule's id.
+    pub rule_id: &'static str,
+    /// The violated rule's category.
+    pub category: Category,
+    /// Human-readable explanation (the rule description).
+    pub message: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// The outcome of scanning a tree or a set of sources.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations found, ordered by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Process exit code: the bitwise OR of the exit bit of every
+    /// category with at least one violation (0 when clean).
+    pub fn exit_code(&self) -> i32 {
+        self.diagnostics
+            .iter()
+            .fold(0, |acc, d| acc | d.category.exit_bit())
+    }
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "shims"];
+
+/// Scans every `.rs` file under `root` with the given rules.
+///
+/// Paths in the report are relative to `root` and use forward slashes,
+/// so rule scopes match regardless of platform. `target/`, `.git/` and
+/// `shims/` (vendored stand-ins for external crates, not Kodan code)
+/// are skipped.
+pub fn check(root: &Path, rules: &[ScopedRule]) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rust_files(root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for file in &files {
+        let src = fs::read_to_string(file)?;
+        let relative = relative_path(root, file);
+        report.files_scanned += 1;
+        report
+            .diagnostics
+            .extend(scan_source(&relative, &src, rules));
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Scans one in-memory source file; the entry point fixture tests use.
+///
+/// `relative_path` is matched against rule scopes exactly as an on-disk
+/// path would be.
+pub fn scan_source(relative_path: &str, src: &str, rules: &[ScopedRule]) -> Vec<Diagnostic> {
+    let classes = classify(src);
+    let lines = masked_lines(src, &classes);
+    let test_lines = test_code_lines(&lines);
+    let allows: Vec<Vec<String>> = lines.iter().map(|l| allowed_rules(&l.comment)).collect();
+
+    let mut diagnostics = Vec::new();
+    for scoped in rules {
+        if !scoped.applies_to(relative_path) {
+            continue;
+        }
+        let rule = &scoped.rule;
+        match rule.kind {
+            RuleKind::Pattern { needles } => {
+                for (idx, line) in lines.iter().enumerate() {
+                    if rule.exempt_test_code && test_lines[idx] {
+                        continue;
+                    }
+                    if !needles.iter().any(|n| matches_word(&line.code, n)) {
+                        continue;
+                    }
+                    if suppressed(&allows, idx, rule.id) {
+                        continue;
+                    }
+                    diagnostics.push(Diagnostic {
+                        path: relative_path.to_string(),
+                        line: line.number,
+                        rule_id: rule.id,
+                        category: rule.category,
+                        message: rule.description,
+                        snippet: line.raw.trim().to_string(),
+                    });
+                }
+            }
+            RuleKind::RequiredAttr { attr } => {
+                let want = strip_spaces(attr);
+                let present = lines.iter().any(|l| strip_spaces(&l.code).contains(&want));
+                let allowed = allows.iter().any(|a| a.iter().any(|id| id == rule.id));
+                if !present && !allowed {
+                    diagnostics.push(Diagnostic {
+                        path: relative_path.to_string(),
+                        line: 1,
+                        rule_id: rule.id,
+                        category: rule.category,
+                        message: rule.description,
+                        snippet: format!("missing {attr}"),
+                    });
+                }
+            }
+        }
+    }
+    diagnostics
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Marks every line that is inside a `#[cfg(test)]`-gated block (or is
+/// the attribute line itself), by tracking brace depth in the code mask.
+fn test_code_lines(lines: &[MaskedLine]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth: u32 = 0;
+    // Depth at which each active #[cfg(test)] block was opened.
+    let mut test_entry: Option<u32> = None;
+    // Attribute seen, waiting for the block's opening brace.
+    let mut pending = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let is_attr = strip_spaces(&line.code).contains("#[cfg(test)]");
+        let mut in_test = is_attr || test_entry.is_some();
+        if is_attr {
+            pending = true;
+        }
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        test_entry = Some(depth);
+                        pending = false;
+                        in_test = true;
+                    }
+                }
+                '}' => {
+                    if let Some(entry) = test_entry {
+                        if depth == entry {
+                            test_entry = None;
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+        flags[idx] = in_test;
+    }
+    flags
+}
+
+/// Extracts every rule id named by a `lint:allow(<rule-id>)` directive
+/// in one line's comment mask. The directive form is
+/// `// lint:allow(rule-id): reason`.
+fn allowed_rules(comment: &str) -> Vec<String> {
+    let mut ids = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        let after = &rest[pos + "lint:allow(".len()..];
+        if let Some(close) = after.find(')') {
+            let id = after[..close].trim();
+            if !id.is_empty() {
+                ids.push(id.to_string());
+            }
+            rest = &after[close + 1..];
+        } else {
+            break;
+        }
+    }
+    ids
+}
+
+/// A violation on line `idx` is suppressed by an allow on the same line
+/// or on the immediately preceding line.
+fn suppressed(allows: &[Vec<String>], idx: usize, rule_id: &str) -> bool {
+    let hit = |i: usize| allows[i].iter().any(|id| id == rule_id);
+    hit(idx) || (idx > 0 && hit(idx - 1))
+}
+
+/// Substring match with word boundaries on any needle edge that is an
+/// identifier character, so `Instant` never matches `InstantEnum` but
+/// `.unwrap()` matches as plain substring.
+fn matches_word(haystack: &str, needle: &str) -> bool {
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let hay = haystack.as_bytes();
+    let ned = needle.as_bytes();
+    if ned.is_empty() || hay.len() < ned.len() {
+        return false;
+    }
+    let check_start = is_word(ned[0]);
+    let check_end = is_word(ned[ned.len() - 1]);
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let start = from + pos;
+        let end = start + ned.len();
+        let ok_start = !check_start || start == 0 || !is_word(hay[start - 1]);
+        let ok_end = !check_end || end == hay.len() || !is_word(hay[end]);
+        if ok_start && ok_end {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn strip_spaces(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::default_rules;
+
+    fn scan(path: &str, src: &str) -> Vec<Diagnostic> {
+        scan_source(path, src, &default_rules())
+    }
+
+    #[test]
+    fn flags_unwrap_in_runtime_path_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let hits = scan("crates/core/src/queue.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule_id, "unwrap");
+        assert_eq!(hits[0].line, 1);
+        assert!(scan("crates/cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let src = "// x.unwrap() is bad\nconst S: &str = \"panic! HashMap.unwrap()\";\n";
+        assert!(scan("crates/core/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let src = "struct InstantaneousRate;\n";
+        assert!(scan("crates/core/src/model.rs", src).is_empty());
+        let src = "let t = Instant::now();\n";
+        assert_eq!(scan("crates/core/src/model.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { None::<u8>.unwrap(); }\n}\n\
+                   fn live(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let hits = scan("crates/core/src/queue.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 5);
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let src = "let v = x.unwrap(); // lint:allow(unwrap): checked above\n";
+        assert!(scan("crates/core/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn preceding_line_allow_suppresses() {
+        let src = "// lint:allow(float-cmp): inputs are never NaN\n\
+                   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        let hits = scan("crates/core/src/queue.rs", src);
+        // float-cmp is allowed; the unwrap on the same line still fires.
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule_id, "unwrap");
+    }
+
+    #[test]
+    fn allow_for_other_rule_does_not_suppress() {
+        let src = "let v = x.unwrap(); // lint:allow(expect): wrong id\n";
+        assert_eq!(scan("crates/core/src/queue.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_inside_string_is_ignored() {
+        let src = "let s = \"lint:allow(unwrap)\"; let v = x.unwrap();\n";
+        assert_eq!(scan("crates/core/src/queue.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn required_attrs_fire_once_at_line_one() {
+        let src = "//! Docs.\npub fn f() {}\n";
+        let hits = scan("crates/ml/src/lib.rs", src);
+        let ids: Vec<_> = hits.iter().map(|d| d.rule_id).collect();
+        assert!(ids.contains(&"forbid-unsafe"));
+        assert!(ids.contains(&"deny-missing-docs"));
+        assert!(hits.iter().all(|d| d.line == 1));
+    }
+
+    #[test]
+    fn required_attrs_satisfied() {
+        let src = "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n";
+        assert!(scan("crates/ml/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_bench_too() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(scan("crates/bench/benches/fig10.rs", src).len(), 1);
+        assert!(scan("crates/cli/src/commands.rs", src).is_empty());
+    }
+
+    #[test]
+    fn exit_code_is_category_bitmask() {
+        let mut report = Report::default();
+        report.diagnostics = scan(
+            "crates/core/src/queue.rs",
+            "use std::collections::HashMap;\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        assert_eq!(report.exit_code(), 1 | 2);
+        assert!(!report.is_clean());
+        assert!(Report::default().is_clean());
+    }
+}

@@ -1,0 +1,159 @@
+//! One violating fixture per rule: each snippet below triggers exactly
+//! the rule it is named for, and a cleaned twin triggers nothing.
+
+use kodan_lint::{default_rules, scan_source, Category, Diagnostic, ScopedRule};
+
+fn rules() -> Vec<ScopedRule> {
+    default_rules()
+}
+
+/// Scans a snippet at `path` and asserts exactly one diagnostic for
+/// `rule_id` at `line`.
+fn assert_single(path: &str, src: &str, rule_id: &str, line: usize) -> Diagnostic {
+    let hits = scan_source(path, src, &rules());
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one {rule_id} hit in {path}, got: {hits:?}"
+    );
+    assert_eq!(hits[0].rule_id, rule_id);
+    assert_eq!(hits[0].line, line);
+    hits[0].clone()
+}
+
+const CLEAN_LIB_HEADER: &str = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n";
+
+#[test]
+fn fixture_wall_clock() {
+    let d = assert_single(
+        "crates/cote/src/clock.rs",
+        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+        "wall-clock",
+        1,
+    );
+    assert_eq!(d.category, Category::Determinism);
+}
+
+#[test]
+fn fixture_entropy() {
+    assert_single(
+        "crates/ml/src/init.rs",
+        "pub fn seed() -> u64 { rand::thread_rng().random_range(0..u64::MAX) }\n",
+        "entropy",
+        1,
+    );
+}
+
+#[test]
+fn fixture_hash_collections() {
+    assert_single(
+        "crates/geodata/src/index.rs",
+        "use std::collections::HashSet;\n",
+        "hash-collections",
+        1,
+    );
+}
+
+#[test]
+fn fixture_unwrap() {
+    let d = assert_single(
+        "crates/core/src/elide.rs",
+        "pub fn head(v: &[u8]) -> u8 { *v.first().unwrap() }\n",
+        "unwrap",
+        1,
+    );
+    assert_eq!(d.category, Category::PanicSafety);
+}
+
+#[test]
+fn fixture_expect() {
+    assert_single(
+        "crates/core/src/engine.rs",
+        "pub fn head(v: &[u8]) -> u8 { *v.first().expect(\"nonempty\") }\n",
+        "expect",
+        1,
+    );
+}
+
+#[test]
+fn fixture_panic_macro() {
+    assert_single(
+        "crates/core/src/runtime.rs",
+        "pub fn boom() { panic!(\"no\") }\n",
+        "panic-macro",
+        1,
+    );
+}
+
+#[test]
+fn fixture_float_cmp() {
+    let src = "pub fn sort(v: &mut [f64]) {\n    \
+               v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n}\n";
+    assert_single("crates/core/src/queue.rs", src, "float-cmp", 2);
+    // total_cmp is the sanctioned replacement and is clean.
+    let fixed = "pub fn sort(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }\n";
+    assert!(scan_source("crates/core/src/queue.rs", fixed, &rules()).is_empty());
+}
+
+#[test]
+fn fixture_forbid_unsafe() {
+    let src = "#![deny(missing_docs)]\n//! Docs.\n";
+    assert_single("crates/hw/src/lib.rs", src, "forbid-unsafe", 1);
+}
+
+#[test]
+fn fixture_deny_missing_docs() {
+    let src = "#![forbid(unsafe_code)]\n//! Docs.\n";
+    assert_single("crates/hw/src/lib.rs", src, "deny-missing-docs", 1);
+}
+
+#[test]
+fn fixture_print_macro() {
+    let d = assert_single(
+        "crates/core/src/model.rs",
+        "pub fn debug(x: u8) { println!(\"{x}\"); }\n",
+        "print-macro",
+        1,
+    );
+    assert_eq!(d.category, Category::Hygiene);
+}
+
+#[test]
+fn clean_file_produces_no_diagnostics() {
+    let src = format!(
+        "{CLEAN_LIB_HEADER}//! A clean module.\n\n\
+         /// Sorts safely.\npub fn sort(v: &mut [f64]) {{ v.sort_by(|a, b| a.total_cmp(b)); }}\n"
+    );
+    assert!(scan_source("crates/core/src/lib.rs", &src, &rules()).is_empty());
+}
+
+#[test]
+fn out_of_scope_paths_are_untouched() {
+    // The CLI crate may unwrap and print; only runtime/deterministic
+    // paths are policed.
+    let src = "fn main() { println!(\"{}\", std::env::args().next().unwrap()); }\n";
+    assert!(scan_source("crates/cli/src/main.rs", src, &rules()).is_empty());
+}
+
+#[test]
+fn every_pattern_rule_has_a_firing_fixture() {
+    // Guard against a rule being added without a fixture: each pattern
+    // rule must fire on a synthetic line made from its first needle.
+    for scoped in rules() {
+        if let kodan_lint::RuleKind::Pattern { needles } = scoped.rule.kind {
+            let path = scoped.include.first().cloned().unwrap_or_default();
+            let path = if path.ends_with(".rs") {
+                path
+            } else {
+                format!("{path}synthetic.rs")
+            };
+            let src = format!("pub fn f() {{ let _ = {}; }}\n", needles[0]);
+            let hits = scan_source(&path, &src, &rules());
+            assert!(
+                hits.iter().any(|d| d.rule_id == scoped.rule.id),
+                "rule {} did not fire on its own needle at {path}",
+                scoped.rule.id
+            );
+        }
+    }
+}

@@ -34,6 +34,9 @@
 //! assert!(!model.predict(&[0.1]));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod eval;
 pub mod kmeans;
 pub mod linear;

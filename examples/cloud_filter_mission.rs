@@ -33,7 +33,7 @@ fn main() {
     config.max_train_pixels = 8_000;
     config.max_eval_tiles = 240;
     config.train.epochs = 40;
-    let artifacts = Transformation::new(config).run(&dataset, arch);
+    let artifacts = Transformation::new(config).run(&dataset, arch).expect("transformation succeeds");
 
     // The space segment: Landsat orbit, imager and ground stations.
     let env = SpaceEnvironment::landsat(1);

@@ -67,7 +67,9 @@ fn main() {
     config.max_eval_tiles = 160;
     config.train.epochs = 30;
     let artifacts =
-        Transformation::new(config).run(&dataset, ModelArch::ResNet101DilatedPpm);
+        Transformation::new(config)
+        .run(&dataset, ModelArch::ResNet101DilatedPpm)
+        .expect("transformation succeeds");
     let cmp = coverage_comparison(
         &artifacts,
         HwTarget::OrinAgx15W,

@@ -30,7 +30,7 @@ fn main() {
     config.max_train_pixels = 6_000;
     config.max_eval_tiles = 160;
     config.train.epochs = 30;
-    let artifacts = Transformation::new(config).run(&dataset, arch);
+    let artifacts = Transformation::new(config).run(&dataset, arch).expect("transformation succeeds");
     let env = SpaceEnvironment::landsat(1);
 
     println!(

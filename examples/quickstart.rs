@@ -34,7 +34,7 @@ fn main() {
     config.max_eval_tiles = 240;
     config.train.epochs = 40;
     let arch = ModelArch::ResNet50DilatedPpm; // App 4
-    let artifacts = Transformation::new(config).run(&dataset, arch);
+    let artifacts = Transformation::new(config).run(&dataset, arch).expect("transformation succeeds");
     println!(
         "contexts: {} (engine agreement {:.2})",
         artifacts.contexts.len(),

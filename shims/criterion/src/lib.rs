@@ -1,0 +1,97 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal micro-benchmark harness with Criterion's call surface:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up briefly, then timed over a fixed batch of iterations and
+//! reported as mean wall-clock time per iteration. Statistical analysis,
+//! HTML reports and command-line filtering are out of scope.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records mean time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warm-up: a handful of untimed calls.
+        for _ in 0..3 {
+            black_box(body());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `body` as a named benchmark and prints its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) {
+        // Calibrate: run once to pick an iteration count that keeps each
+        // benchmark under ~a second.
+        let mut probe = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut probe);
+        let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        let iterations = (Duration::from_millis(300).as_nanos() / per_iter.as_nanos())
+            .clamp(1, 1000) as u64;
+
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+        println!("{name:<40} {:>12.3} us/iter ({iterations} iters)", mean * 1e6);
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+}

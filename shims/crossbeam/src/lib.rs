@@ -1,0 +1,75 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides [`scope`] with crossbeam's call signature — spawn closures
+//! receive a `&Scope` argument and the scope returns a `Result` that is
+//! `Err` when any spawned thread panicked — implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned
+/// thread's closure, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope so it can
+    /// spawn further threads, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope for spawning borrowing threads, returning `Err` with
+/// the panic payload if any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        scope(|s| {
+            for (slot, &v) in out.chunks_mut(1).zip(data.iter()) {
+                s.spawn(move |_| slot[0] = v * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let r = scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| 7u32);
+            });
+        });
+        assert!(r.is_ok());
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, the
+//! [`strategy::Strategy`] trait with `prop_map`, range strategies over
+//! ints and floats, tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select` and `prop::bool::ANY`.
+//!
+//! Unlike real proptest there is no shrinking and no persistence: cases
+//! are generated from a per-test deterministic seed (hashed from the
+//! test's module path and name), so failures reproduce exactly on every
+//! run — which is the property this repository's determinism suite
+//! cares about most.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    /// Strategy producing uniformly random booleans.
+    pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (a `usize`, `Range<usize>` or `RangeInclusive<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// Strategy selecting one element of `options` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select::new(options)
+    }
+}
+
+/// The `prop::` facade module used by `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::{bool, collection, sample};
+}
+
+/// Everything a proptest-based test file imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a proptest body, failing the current case
+/// (with formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property-based tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u64..100, v in prop::collection::vec(0.0f64..1.0, 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@block ($cfg) $($rest)*);
+    };
+    ( @block ($cfg:expr)
+      $(
+          $(#[$meta:meta])+
+          fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut done: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(64).max(1024);
+                while done < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "too many rejected cases ({} accepted of {} wanted)",
+                        done,
+                        config.cases,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => done += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => {
+                            panic!(
+                                "proptest case {} of {} failed: {}",
+                                done + 1,
+                                config.cases,
+                                message,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@block ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! exactly the surface the workspace uses: the `Serialize` /
+//! `Deserialize` marker traits and the corresponding derive macros
+//! (re-exported from the sibling `serde_derive` shim, which emits empty
+//! impls). No actual serialization machinery is included — nothing in
+//! the workspace serializes to a wire format; the derives exist so data
+//! types remain source-compatible with real serde when the workspace is
+//! built online.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The derive macro emits an empty impl; no methods are required.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// The derive macro emits an empty impl; no methods are required. The
+/// lifetime parameter mirrors real serde's `Deserialize<'de>` so generic
+/// bounds written against it keep compiling.
+pub trait Deserialize<'de> {}

@@ -14,6 +14,9 @@
 //! - [`kodan_ml`] — the pure-Rust machine-learning substrate.
 //! - [`kodan_hw`] — hardware deployment-target performance models.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use kodan;
 pub use kodan_cote;
 pub use kodan_geodata;

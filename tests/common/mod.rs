@@ -29,5 +29,6 @@ pub fn test_artifacts() -> &'static TransformationArtifacts {
     ARTIFACTS.get_or_init(|| {
         Transformation::new(KodanConfig::fast(7))
             .run(&test_dataset(), ModelArch::ResNet50DilatedPpm)
+            .expect("transformation succeeds")
     })
 }

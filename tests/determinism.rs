@@ -23,9 +23,11 @@ fn small_dataset(seed: u64) -> Dataset {
 fn transformation_is_reproducible() {
     let dataset = small_dataset(1);
     let a = Transformation::new(KodanConfig::fast(9))
-        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
     let b = Transformation::new(KodanConfig::fast(9))
-        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
     assert_eq!(a, b);
 }
 
@@ -33,9 +35,11 @@ fn transformation_is_reproducible() {
 fn different_seeds_change_the_artifacts() {
     let dataset = small_dataset(1);
     let a = Transformation::new(KodanConfig::fast(9))
-        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
     let b = Transformation::new(KodanConfig::fast(10))
-        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
     assert_ne!(a, b);
 }
 
@@ -43,7 +47,8 @@ fn different_seeds_change_the_artifacts() {
 fn missions_are_reproducible() {
     let dataset = small_dataset(1);
     let artifacts = Transformation::new(KodanConfig::fast(9))
-        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
     let env = SpaceEnvironment::fixed(0.21);
     let world = World::new(42);
     let params = MissionParams {
@@ -68,7 +73,8 @@ fn missions_are_reproducible() {
 fn selection_is_reproducible_across_rederivations() {
     let dataset = small_dataset(1);
     let artifacts = Transformation::new(KodanConfig::fast(9))
-        .run(&dataset, ModelArch::MobileNetV2DilatedC1);
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
     let env = SpaceEnvironment::fixed(0.21);
     for target in HwTarget::ALL {
         let a = artifacts.select_with_capacity(target, env.frame_deadline, env.capacity_fraction);

@@ -1,0 +1,73 @@
+//! The lint gate: tier-1 enforcement of the kodan-lint rule set.
+//!
+//! This test runs the analyzer over the whole workspace through its
+//! library API (no subprocess, so it works offline and under any test
+//! runner) and fails the build if any determinism, panic-safety or
+//! hygiene rule fires. A seeded-violation fixture double-checks that the
+//! gate would actually catch a regression, guarding against the scanner
+//! silently going blind (e.g. a bad walker skip list).
+
+use kodan_lint::{check, default_rules, scan_source};
+use std::path::Path;
+
+/// The workspace root: this integration test lives in `<root>/tests/`.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let rules = default_rules();
+    let report = check(workspace_root(), &rules).expect("workspace scan succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "scanner saw only {} files — walker is broken",
+        report.files_scanned
+    );
+    let listing: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{} [{}] {}", d.path, d.line, d.rule_id, d.snippet))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "kodan-lint found {} violation(s):\n{}\n\
+         Fix them or add `// lint:allow(<rule>): <reason>`.",
+        listing.len(),
+        listing.join("\n")
+    );
+    assert_eq!(report.exit_code(), 0);
+}
+
+#[test]
+fn gate_catches_a_seeded_violation() {
+    // Write a file with one violation per category into the scratch dir
+    // and confirm the same scan pipeline flags all three categories.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_gate_fixture");
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+    std::fs::write(
+        src_dir.join("queue.rs"),
+        "use std::collections::HashMap;\n\
+         pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    )
+    .expect("write fixture");
+
+    let rules = default_rules();
+    let report = check(&dir, &rules).expect("fixture scan succeeds");
+    assert_eq!(report.files_scanned, 1);
+    // determinism (1) from HashMap + panic-safety (2) from unwrap.
+    assert_eq!(report.exit_code(), 1 | 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn suppressions_survive_the_real_pipeline() {
+    // The escape hatch documented in DESIGN.md must keep working: the
+    // gate's usefulness depends on allows being honoured verbatim.
+    let rules = default_rules();
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    \
+               x.unwrap() // lint:allow(unwrap): caller guarantees Some\n}\n";
+    assert!(scan_source("crates/core/src/runtime.rs", src, &rules).is_empty());
+}
