@@ -8,7 +8,7 @@
 use kodan::config::KodanConfig;
 use kodan::mission::SpaceEnvironment;
 use kodan::pipeline::Transformation;
-use kodan_bench::{banner, bench_dataset_config, bench_world, f, n, row, s};
+use kodan_bench::{banner, bench_dataset_config, bench_world, f, n, row, run_kodan_recorded, s};
 use kodan_geodata::Dataset;
 use kodan_hw::targets::HwTarget;
 use kodan_ml::zoo::ModelArch;
@@ -27,6 +27,8 @@ fn main() {
         s("engine agr"),
         s("ctx prec"),
         s("kodan dvd"),
+        s("t:proc"),
+        s("t:elide"),
     ]);
     for k in [1usize, 2, 4, 6, 8, 12] {
         let mut config = KodanConfig::evaluation(42);
@@ -44,11 +46,20 @@ fn main() {
             env.frame_deadline,
             env.capacity_fraction,
         );
+        // The per-arm telemetry snapshot attributes each arm's DVD to the
+        // action mix the selection logic actually flew.
+        let (_, snapshot) =
+            run_kodan_recorded(&artifacts, &env, &world, HwTarget::OrinAgx15W);
+        let processed = snapshot.actions.get("process").copied().unwrap_or(0);
+        let elided = snapshot.actions.get("discard").copied().unwrap_or(0)
+            + snapshot.actions.get("downlink").copied().unwrap_or(0);
         row(&[
             n(k as u64),
             f(artifacts.engine_val_agreement),
             f(ga.composite_eval_all.precision()),
             f(logic.estimate().dvd),
+            n(processed),
+            n(elided),
         ]);
     }
     println!();

@@ -22,6 +22,7 @@ use kodan::runtime::Runtime;
 use kodan::selection::SelectionLogic;
 use kodan_geodata::{Dataset, DatasetConfig, World};
 use kodan_ml::zoo::ModelArch;
+use kodan_telemetry::{SummaryRecorder, TelemetrySnapshot};
 
 /// The world seed shared by every bench, for cross-figure consistency.
 pub const BENCH_SEED: u64 = 42;
@@ -104,6 +105,26 @@ pub fn run_three_systems(
     let kodan = mission.run_with_runtime(&kodan_rt, SystemKind::Kodan);
 
     [bent, direct, kodan]
+}
+
+/// Runs the Kodan system for one mission day with a [`SummaryRecorder`]
+/// attached, returning the report plus the rolled-up telemetry snapshot.
+/// Ablation benches use this to record a per-arm snapshot, so a shift in
+/// any sweep can be attributed to a pipeline stage rather than re-derived
+/// from final aggregates.
+pub fn run_kodan_recorded(
+    artifacts: &TransformationArtifacts,
+    env: &SpaceEnvironment,
+    world: &World,
+    target: kodan_hw::HwTarget,
+) -> (MissionReport, TelemetrySnapshot) {
+    let logic =
+        artifacts.select_with_capacity(target, env.frame_deadline, env.capacity_fraction);
+    let runtime = Runtime::new(logic, artifacts.engine.clone());
+    let mission = Mission::new(env, world, bench_mission_params());
+    let mut recorder = SummaryRecorder::new();
+    let report = mission.run_with_runtime_recorded(&runtime, SystemKind::Kodan, &mut recorder);
+    (report, recorder.snapshot())
 }
 
 /// Prints a figure/table banner.

@@ -6,7 +6,7 @@ use kodan_hw::HwTarget;
 use kodan_ml::ModelArch;
 
 /// Parsed command-line options with defaults applied.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Application number 1-7 (Table 1).
     pub app: ModelArch,
@@ -22,6 +22,8 @@ pub struct Options {
     pub expert: bool,
     /// Constellation size for environment derivation.
     pub sats: usize,
+    /// Write a telemetry snapshot (byte-deterministic JSON) to this path.
+    pub telemetry: Option<String>,
 }
 
 impl Default for Options {
@@ -34,6 +36,7 @@ impl Default for Options {
             contexts: 6,
             expert: false,
             sats: 1,
+            telemetry: None,
         }
     }
 }
@@ -65,6 +68,7 @@ impl Options {
                 "--frames" => options.frames = next_value(&mut iter, flag)?,
                 "--contexts" => options.contexts = next_value(&mut iter, flag)?,
                 "--sats" => options.sats = next_value(&mut iter, flag)?,
+                "--telemetry" => options.telemetry = Some(next_value(&mut iter, flag)?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -111,7 +115,7 @@ mod tests {
     fn parses_every_flag() {
         let o = parse(&[
             "--app", "7", "--target", "gpu", "--seed", "9", "--frames", "16",
-            "--contexts", "4", "--expert", "--sats", "8",
+            "--contexts", "4", "--expert", "--sats", "8", "--telemetry", "out.json",
         ])
         .unwrap();
         assert_eq!(o.app, ModelArch::ResNet101DilatedPpm);
@@ -121,6 +125,13 @@ mod tests {
         assert_eq!(o.contexts, 4);
         assert!(o.expert);
         assert_eq!(o.sats, 8);
+        assert_eq!(o.telemetry.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn telemetry_flag_requires_a_path() {
+        assert!(parse(&["--telemetry"]).is_err());
+        assert_eq!(parse(&[]).unwrap().telemetry, None);
     }
 
     #[test]

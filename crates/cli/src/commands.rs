@@ -9,6 +9,7 @@ use kodan::runtime::Runtime;
 use kodan::selection::SelectionLogic;
 use kodan::KodanConfig;
 use kodan_geodata::{Dataset, DatasetConfig, World};
+use kodan_telemetry::{NullRecorder, Recorder, StageId, SummaryRecorder, TelemetrySnapshot};
 
 /// Usage text shown by `kodan help` and on argument errors.
 pub const USAGE: &str = "\
@@ -33,7 +34,8 @@ FLAGS:
   --frames N     representative-dataset frames              [32]
   --contexts K   automatic context count                    [6]
   --expert       expert (surface-type) contexts
-  --sats N       constellation size for the environment     [1]";
+  --sats N       constellation size for the environment     [1]
+  --telemetry P  write a telemetry snapshot (JSON) to path P";
 
 fn build_dataset(options: &Options) -> (World, Dataset) {
     let world = World::new(options.seed);
@@ -56,11 +58,54 @@ fn build_config(options: &Options) -> KodanConfig {
 }
 
 fn build_artifacts(options: &Options) -> Result<(World, TransformationArtifacts), String> {
+    build_artifacts_recorded(options, &mut NullRecorder)
+}
+
+fn build_artifacts_recorded(
+    options: &Options,
+    recorder: &mut dyn Recorder,
+) -> Result<(World, TransformationArtifacts), String> {
     let (world, dataset) = build_dataset(options);
     let artifacts = Transformation::new(build_config(options))
-        .run(&dataset, options.app)
+        .run_recorded(&dataset, options.app, recorder)
         .map_err(|e| format!("transformation failed: {e}"))?;
     Ok((world, artifacts))
+}
+
+/// Prints the per-stage span breakdown from a telemetry snapshot as an
+/// indented table. Stages with zero calls are omitted; child stages are
+/// indented under their parents following [`StageId::parent`].
+fn print_stage_table(snapshot: &TelemetrySnapshot) {
+    println!("  stage                       modeled-s      items    calls");
+    for stage in StageId::ALL {
+        let Some(span) = snapshot.spans.get(stage.name()) else {
+            continue;
+        };
+        if span.calls == 0 {
+            continue;
+        }
+        let mut depth = 0;
+        let mut cursor = stage;
+        while let Some(parent) = cursor.parent() {
+            depth += 1;
+            cursor = parent;
+        }
+        let label = format!("{}{}", "  ".repeat(depth), stage.name());
+        println!(
+            "  {label:<25} {:>11.3} {:>10} {:>8}",
+            span.modeled_seconds, span.items, span.calls
+        );
+    }
+}
+
+/// Writes the snapshot to `--telemetry PATH` when the flag was given.
+fn write_telemetry(options: &Options, snapshot: &TelemetrySnapshot) -> Result<(), String> {
+    if let Some(path) = &options.telemetry {
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("failed to write telemetry to {path}: {e}"))?;
+        println!("  telemetry snapshot written to {path}");
+    }
+    Ok(())
 }
 
 /// `kodan dataset`
@@ -138,7 +183,8 @@ pub fn transform(options: &Options) -> Result<(), String> {
 
 /// `kodan select`
 pub fn select(options: &Options) -> Result<(), String> {
-    let (_, artifacts) = build_artifacts(options)?;
+    let mut recorder = SummaryRecorder::new();
+    let (_, artifacts) = build_artifacts_recorded(options, &mut recorder)?;
     let env = SpaceEnvironment::landsat(options.sats);
     let logic = artifacts.select_with_capacity(
         options.target,
@@ -170,12 +216,19 @@ pub fn select(options: &Options) -> Result<(), String> {
         e.processed_fraction * 100.0,
         e.dvd
     );
+    let snapshot = recorder.snapshot();
+    println!("transformation stage breakdown:");
+    print_stage_table(&snapshot);
+    write_telemetry(options, &snapshot)?;
     Ok(())
 }
 
 /// `kodan mission`
 pub fn mission(options: &Options) -> Result<(), String> {
-    let (world, artifacts) = build_artifacts(options)?;
+    // One recorder spans the whole kodan path: ground-side transformation
+    // plus the on-orbit mission run, so the snapshot covers both halves.
+    let mut recorder = SummaryRecorder::new();
+    let (world, artifacts) = build_artifacts_recorded(options, &mut recorder)?;
     let env = SpaceEnvironment::landsat(options.sats);
     let mission = Mission::new(&env, &world, MissionParams::default());
 
@@ -195,9 +248,10 @@ pub fn mission(options: &Options) -> Result<(), String> {
         env.frame_deadline,
         env.capacity_fraction,
     );
-    let kodan = mission.run_with_runtime(
+    let kodan = mission.run_with_runtime_recorded(
         &Runtime::new(kodan_logic, artifacts.engine.clone()),
         SystemKind::Kodan,
+        &mut recorder,
     );
 
     println!(
@@ -219,6 +273,13 @@ pub fn mission(options: &Options) -> Result<(), String> {
         "  kodan improves DVD {:+.0}% over the bent pipe",
         (kodan.dvd / bent.dvd - 1.0) * 100.0
     );
+    let snapshot = recorder.snapshot();
+    println!(
+        "kodan telemetry ({} frames, {} events):",
+        snapshot.frames, snapshot.events
+    );
+    print_stage_table(&snapshot);
+    write_telemetry(options, &snapshot)?;
     Ok(())
 }
 

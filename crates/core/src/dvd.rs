@@ -61,8 +61,13 @@ impl DownlinkAccounting {
         self.downlinked_value_px() / self.observed_value_px
     }
 
-    /// Fraction of the downlink capacity actually used.
+    /// Fraction of the downlink capacity actually used. A degenerate
+    /// zero-capacity link reports 0.0 rather than NaN so the ratio stays
+    /// safe to aggregate and serialize.
     pub fn capacity_utilization(&self) -> f64 {
+        if self.capacity_px <= 0.0 {
+            return 0.0;
+        }
         self.downlinked_px() / self.capacity_px
     }
 }
@@ -127,6 +132,21 @@ mod tests {
         a.produced_value_px = 300.0;
         let kept = a.downlinked_value_px() / a.downlinked_px();
         assert!((kept - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_accessors_guard_zero_denominators() {
+        // Every ratio accessor must return a finite 0.0 — never NaN —
+        // when its denominator degenerates, so downstream aggregation
+        // and JSON serialization stay well-defined.
+        let mut a = base();
+        a.capacity_px = 0.0;
+        a.produced_px = 0.0;
+        a.observed_value_px = 0.0;
+        assert_eq!(a.capacity_utilization(), 0.0);
+        assert_eq!(a.downlinked_value_px(), 0.0);
+        assert_eq!(a.observed_hv_downlinked(), 0.0);
+        assert!(a.capacity_utilization().is_finite());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::KodanError;
 use kodan_geodata::tile::TileImage;
 use kodan_ml::metrics::DistanceMetric;
 use kodan_ml::transform::{FittedTransform, TransformKind};
+use kodan_telemetry::{CounterId, Recorder, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 
 /// Dimension of the observable runtime feature vector: 5 channel means +
@@ -211,6 +212,33 @@ impl EngineKind {
             EngineKind::ExpertMap(engine) => engine.classify(tile),
         }
     }
+
+    /// Classifies a tile and reports the assignment to `recorder`: a
+    /// [`TelemetryEvent::TileClassified`] journal entry plus a counter
+    /// attributing the classification to the learned or expert engine.
+    /// `tile_index` is the tile's raster position within its frame.
+    pub fn classify_recorded(
+        &self,
+        tile: &TileImage,
+        tile_index: u32,
+        recorder: &mut dyn Recorder,
+    ) -> ContextId {
+        let context = match self {
+            EngineKind::Learned(engine) => {
+                recorder.count(CounterId::LearnedClassifications, 1);
+                engine.classify(tile)
+            }
+            EngineKind::ExpertMap(engine) => {
+                recorder.count(CounterId::ExpertClassifications, 1);
+                engine.classify(tile)
+            }
+        };
+        recorder.event(TelemetryEvent::TileClassified {
+            tile: tile_index,
+            context: context.0 as u32,
+        });
+        context
+    }
 }
 
 impl From<ContextEngine> for EngineKind {
@@ -324,6 +352,23 @@ mod tests {
         for t in train_tiles.iter().take(10) {
             assert_eq!(kind.classify(t), learned.classify(t));
         }
+    }
+
+    #[test]
+    fn recorded_classification_matches_and_attributes() {
+        let (train_tiles, _, contexts) = setup();
+        let learned = ContextEngine::train(&train_tiles, &contexts);
+        let kind: EngineKind = learned.into();
+        let mut recorder = kodan_telemetry::SummaryRecorder::new();
+        for (i, t) in train_tiles.iter().take(12).enumerate() {
+            let plain = kind.classify(t);
+            let recorded = kind.classify_recorded(t, i as u32, &mut recorder);
+            assert_eq!(plain, recorded);
+        }
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(CounterId::LearnedClassifications), 12);
+        assert_eq!(snap.counter(CounterId::ExpertClassifications), 0);
+        assert_eq!(snap.context_tiles.values().sum::<u64>(), 12);
     }
 
     #[test]

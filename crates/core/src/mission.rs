@@ -22,6 +22,7 @@ use kodan_cote::sensor::{capture_schedule, Imager};
 use kodan_cote::sim::{simulate_space_segment, ServedPass};
 use kodan_cote::time::Duration;
 use kodan_geodata::frame::{FrameImage, World};
+use kodan_telemetry::{NullRecorder, Recorder, StageId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -220,13 +221,29 @@ impl<'a> Mission<'a> {
     /// Runs a mission with a prepared runtime (direct deploy or Kodan,
     /// depending on how the runtime's selection logic was built).
     pub fn run_with_runtime(&self, runtime: &Runtime, system: SystemKind) -> MissionReport {
+        self.run_with_runtime_recorded(runtime, system, &mut NullRecorder)
+    }
+
+    /// [`Mission::run_with_runtime`] with telemetry: frame sampling and
+    /// every per-frame runtime decision are reported to `recorder` (see
+    /// [`Runtime::process_frame_recorded`]).
+    pub fn run_with_runtime_recorded(
+        &self,
+        runtime: &Runtime,
+        system: SystemKind,
+        recorder: &mut dyn Recorder,
+    ) -> MissionReport {
         let frames = self.sample_frames();
-        let outcomes: Vec<FrameOutcome> =
-            frames.iter().map(|f| runtime.process_frame(f)).collect();
-        let mean_time = outcomes
+        recorder.span(StageId::FrameSampling, 0.0, frames.len() as u64);
+        let outcomes: Vec<FrameOutcome> = frames
             .iter()
-            .fold(Duration::ZERO, |acc, o| acc + o.compute)
-            / outcomes.len() as f64;
+            .map(|f| runtime.process_frame_recorded(f, recorder))
+            .collect();
+        let total_compute = outcomes
+            .iter()
+            .fold(Duration::ZERO, |acc, o| acc + o.compute);
+        let mean_time = total_compute / outcomes.len() as f64;
+        recorder.span(StageId::Mission, total_compute.as_seconds(), frames.len() as u64);
         self.summarize(system, &outcomes, mean_time)
     }
 
@@ -488,6 +505,32 @@ mod tests {
             "processed fraction {}",
             report.processed_fraction
         );
+    }
+
+    #[test]
+    fn recorded_mission_matches_plain_mission() {
+        let env = SpaceEnvironment::fixed(0.21);
+        let world = World::new(42);
+        let a = artifacts(&world);
+        let logic = a.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let runtime = Runtime::new(logic, a.engine.clone());
+        let mission = Mission::new(&env, &world, params());
+        let plain = mission.run_with_runtime(&runtime, SystemKind::Kodan);
+        let mut recorder = kodan_telemetry::SummaryRecorder::new();
+        let recorded =
+            mission.run_with_runtime_recorded(&runtime, SystemKind::Kodan, &mut recorder);
+        assert_eq!(plain, recorded);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.frames, 6);
+        assert_eq!(snap.span(kodan_telemetry::StageId::FrameSampling).items, 6);
+        // Mission span totals are inclusive of their frame children.
+        let mission_s = snap.span(kodan_telemetry::StageId::Mission).modeled_seconds;
+        let frame_s = snap.span(kodan_telemetry::StageId::Frame).modeled_seconds;
+        assert!((mission_s - frame_s).abs() < 1e-9);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use kodan_geodata::tile::TileImage;
 use kodan_hw::targets::HwTarget;
 use kodan_ml::eval::ConfusionMatrix;
 use kodan_ml::zoo::ModelArch;
+use kodan_telemetry::{CounterId, NullRecorder, Recorder, StageId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
@@ -155,6 +156,26 @@ impl Transformation {
         dataset: &Dataset,
         arch: ModelArch,
     ) -> Result<TransformationArtifacts, KodanError> {
+        self.run_recorded(dataset, arch, &mut NullRecorder)
+    }
+
+    /// [`Transformation::run`] with telemetry: context generation, engine
+    /// training, per-grid specialization and validation report spans and
+    /// counters to `recorder`. Transformation runs on the ground where
+    /// the latency model does not apply, so these spans carry zero
+    /// modeled seconds and use their item counts (tiles, models) as the
+    /// magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KodanError::NoGrids`] if the configuration lists no
+    /// tile grids to sweep.
+    pub fn run_recorded(
+        &self,
+        dataset: &Dataset,
+        arch: ModelArch,
+        recorder: &mut dyn Recorder,
+    ) -> Result<TransformationArtifacts, KodanError> {
         let config = &self.config;
         let (train, val) = dataset.split(config.train_fraction, config.seed);
 
@@ -194,26 +215,27 @@ impl Transformation {
                 )
             }
         };
+        recorder.span(StageId::ContextGeneration, 0.0, context_train_tiles.len() as u64);
+        recorder.count(CounterId::ContextsGenerated, contexts.len() as u64);
         let engine = ContextEngine::train(&context_train_tiles, &contexts);
+        recorder.span(StageId::EngineTraining, 0.0, context_train_tiles.len() as u64);
         let context_val_tiles = val.tiles(context_grid);
         let engine_val_agreement = engine.agreement_on(&context_val_tiles, &contexts);
 
-        let grids = config
-            .tile_grids
-            .iter()
-            .enumerate()
-            .map(|(i, &grid)| {
-                self.build_grid_artifacts(
-                    &train,
-                    &val,
-                    grid,
-                    arch,
-                    &contexts,
-                    &engine,
-                    config.seed.wrapping_add(i as u64 * 101),
-                )
-            })
-            .collect();
+        let mut grids = Vec::with_capacity(config.tile_grids.len());
+        for (i, &grid) in config.tile_grids.iter().enumerate() {
+            grids.push(self.build_grid_artifacts(
+                &train,
+                &val,
+                grid,
+                arch,
+                &contexts,
+                &engine,
+                config.seed.wrapping_add(i as u64 * 101),
+                recorder,
+            ));
+        }
+        recorder.span(StageId::Transformation, 0.0, grids.len() as u64);
 
         Ok(TransformationArtifacts {
             config: *config,
@@ -235,6 +257,7 @@ impl Transformation {
         contexts: &ContextSet,
         engine: &ContextEngine,
         seed: u64,
+        recorder: &mut dyn Recorder,
     ) -> GridArtifacts {
         let config = &self.config;
         let k = contexts.len();
@@ -306,6 +329,14 @@ impl Transformation {
                 ));
             }
         }
+
+        let trained = 1
+            + context_models.iter().filter(|m| m.is_some()).count()
+            + merged_models.len();
+        recorder.count(CounterId::ModelsTrained, trained as u64);
+        recorder.count(CounterId::MergedModelsTrained, merged_models.len() as u64);
+        recorder.span(StageId::Specialization, 0.0, trained as u64);
+        recorder.span(StageId::Validation, 0.0, val_tiles.len() as u64);
 
         // Validation statistics are gathered under *engine* assignment,
         // matching what the runtime will experience.
@@ -511,6 +542,42 @@ mod tests {
             orin.tiles_per_frame(),
             gpu.tiles_per_frame()
         );
+    }
+
+    #[test]
+    fn recorded_transformation_matches_and_reports_stages() {
+        let world = World::new(42);
+        let mut ds_cfg = DatasetConfig::small(1);
+        ds_cfg.frame_count = 10;
+        ds_cfg.frame_px = 132;
+        let dataset = Dataset::sample(&world, &ds_cfg);
+        let t = Transformation::new(KodanConfig::fast(7));
+        let plain = t
+            .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+            .expect("transformation succeeds");
+        let mut recorder = kodan_telemetry::SummaryRecorder::new();
+        let recorded = t
+            .run_recorded(&dataset, ModelArch::MobileNetV2DilatedC1, &mut recorder)
+            .expect("transformation succeeds");
+        assert_eq!(plain, recorded);
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counter(CounterId::ContextsGenerated) as usize,
+            recorded.contexts.len()
+        );
+        assert_eq!(
+            snap.span(StageId::Transformation).items as usize,
+            recorded.grids.len()
+        );
+        // One specialization span per swept grid, each training at least
+        // the global model.
+        assert_eq!(
+            snap.span(StageId::Specialization).calls as usize,
+            recorded.grids.len()
+        );
+        assert!(snap.counter(CounterId::ModelsTrained) >= recorded.grids.len() as u64);
+        assert!(snap.span(StageId::ContextGeneration).items > 0);
+        assert!(snap.span(StageId::Validation).items > 0);
     }
 
     #[test]

@@ -17,7 +17,21 @@ use kodan_cote::time::Duration;
 use kodan_geodata::frame::FrameImage;
 use kodan_geodata::tile::tile_frame;
 use kodan_hw::latency::LatencyModel;
+use kodan_telemetry::{
+    ActionKind, CounterId, HistogramId, NullRecorder, Recorder, StageId, TelemetryEvent,
+};
 use serde::{Deserialize, Serialize};
+
+/// The telemetry vocabulary's mirror of [`Action`].
+fn action_kind(action: Action) -> ActionKind {
+    match action {
+        Action::Discard => ActionKind::Discard,
+        Action::Downlink => ActionKind::Downlink,
+        Action::Process { model_index } => ActionKind::Process {
+            model_index: model_index as u32,
+        },
+    }
+}
 
 /// Result of processing one frame.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -81,34 +95,83 @@ impl Runtime {
     /// Panics if the frame dimension is not divisible by the selected
     /// grid.
     pub fn process_frame(&self, frame: &FrameImage) -> FrameOutcome {
+        self.process_frame_recorded(frame, &mut NullRecorder)
+    }
+
+    /// [`Runtime::process_frame`] with telemetry: every decision point —
+    /// tiling, per-tile classification, the elision/process action, model
+    /// invocation, and the frame's pixel accounting — is reported to
+    /// `recorder`. With a [`NullRecorder`] this is the plain hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame dimension is not divisible by the selected
+    /// grid.
+    pub fn process_frame_recorded(
+        &self,
+        frame: &FrameImage,
+        recorder: &mut dyn Recorder,
+    ) -> FrameOutcome {
         let tiles = tile_frame(frame, self.logic.grid());
-        let base_per_tile =
-            self.latency.context_engine_tile_time() + self.latency.resize_tile_time();
+        let engine_time = self.latency.context_engine_tile_time();
+        let resize_time = self.latency.resize_tile_time();
+        let base_per_tile = engine_time + resize_time;
+
+        recorder.event(TelemetryEvent::FrameCaptured {
+            pixels: frame.pixel_count() as u64,
+        });
+        recorder.count(CounterId::FramesProcessed, 1);
+        recorder.count(CounterId::TilesObserved, tiles.len() as u64);
 
         let mut outcome = FrameOutcome::default();
-        for tile in &tiles {
+        for (i, tile) in tiles.iter().enumerate() {
+            let tile_index = i as u32;
             let px = (tile.size() * tile.size()) as u64;
             let clear_px = ((1.0 - tile.cloud_fraction()) * px as f64).round() as u64;
             outcome.observed_px += px;
             outcome.observed_value_px += clear_px;
             outcome.compute += base_per_tile;
+            recorder.span(StageId::Preprocess, resize_time.as_seconds(), 1);
+            recorder.span(StageId::Classification, engine_time.as_seconds(), 1);
 
-            let context = self.engine.classify(tile);
-            match self.logic.action_for(context) {
+            let context = self.engine.classify_recorded(tile, tile_index, recorder);
+            let action = self.logic.action_for(context);
+            recorder.event(TelemetryEvent::ActionTaken {
+                tile: tile_index,
+                action: action_kind(action),
+            });
+            match action {
                 Action::Discard => {
                     outcome.tiles_elided += 1;
+                    recorder.count(CounterId::TilesDiscarded, 1);
+                    recorder.span(StageId::Elision, 0.0, 1);
                 }
                 Action::Downlink => {
                     outcome.tiles_elided += 1;
                     outcome.sent_px += px;
                     outcome.value_px += clear_px;
+                    recorder.count(CounterId::TilesDownlinked, 1);
+                    recorder.span(StageId::Elision, 0.0, 1);
                 }
                 Action::Process { model_index } => {
                     outcome.tiles_processed += 1;
                     let model = &self.logic.models()[model_index];
-                    outcome.compute += self
+                    let inference = self
                         .latency
                         .specialized_tile_time(self.logic.arch(), model.ops_ratio());
+                    outcome.compute += inference;
+                    recorder.count(CounterId::TilesProcessed, 1);
+                    recorder.count(CounterId::ModelInvocations, 1);
+                    recorder.span(StageId::ModelExecution, inference.as_seconds(), 1);
+                    recorder.observe(
+                        HistogramId::ModelLatencySeconds,
+                        inference.as_seconds(),
+                    );
+                    recorder.event(TelemetryEvent::ModelInvoked {
+                        tile: tile_index,
+                        model_index: model_index as u32,
+                        modeled_seconds: inference.as_seconds(),
+                    });
                     let pred = model.predict_tile(tile);
                     for (p, &cloudy) in pred.iter().zip(tile.truth_cloudy()) {
                         if *p {
@@ -121,6 +184,25 @@ impl Runtime {
                 }
             }
         }
+
+        recorder.event(TelemetryEvent::PixelsAccounted {
+            sent_px: outcome.sent_px,
+            value_px: outcome.value_px,
+            observed_px: outcome.observed_px,
+        });
+        recorder.count(CounterId::PixelsSent, outcome.sent_px);
+        recorder.count(CounterId::PixelsValue, outcome.value_px);
+        recorder.span(StageId::Accounting, 0.0, outcome.observed_px);
+        recorder.span(StageId::Frame, outcome.compute.as_seconds(), 1);
+        recorder.observe(HistogramId::FrameComputeSeconds, outcome.compute.as_seconds());
+        recorder.observe(HistogramId::FramePrecision, outcome.precision());
+        let total_tiles = outcome.tiles_elided + outcome.tiles_processed;
+        if total_tiles > 0 {
+            recorder.observe(
+                HistogramId::FrameElisionFraction,
+                outcome.tiles_elided as f64 / total_tiles as f64,
+            );
+        }
         outcome
     }
 
@@ -130,10 +212,23 @@ impl Runtime {
     where
         I: IntoIterator<Item = &'a FrameImage>,
     {
+        self.process_frames_recorded(frames, &mut NullRecorder)
+    }
+
+    /// [`Runtime::process_frames`] with telemetry (see
+    /// [`Runtime::process_frame_recorded`]).
+    pub fn process_frames_recorded<'a, I>(
+        &self,
+        frames: I,
+        recorder: &mut dyn Recorder,
+    ) -> (FrameOutcome, Duration)
+    where
+        I: IntoIterator<Item = &'a FrameImage>,
+    {
         let mut total = FrameOutcome::default();
         let mut count = 0usize;
         for frame in frames {
-            let o = self.process_frame(frame);
+            let o = self.process_frame_recorded(frame, recorder);
             total.compute += o.compute;
             total.sent_px += o.sent_px;
             total.value_px += o.value_px;
@@ -175,6 +270,22 @@ mod tests {
     use kodan_geodata::{Dataset, DatasetConfig, World};
     use kodan_hw::targets::HwTarget;
     use kodan_ml::zoo::ModelArch;
+
+    #[test]
+    fn precision_guards_zero_denominator() {
+        // A frame that sent nothing must report 0.0 precision, not NaN:
+        // mission aggregation and telemetry histograms consume this value.
+        let outcome = FrameOutcome::default();
+        assert_eq!(outcome.sent_px, 0);
+        assert_eq!(outcome.precision(), 0.0);
+        assert!(outcome.precision().is_finite());
+        let sent = FrameOutcome {
+            sent_px: 100,
+            value_px: 25,
+            ..FrameOutcome::default()
+        };
+        assert!((sent.precision() - 0.25).abs() < 1e-12);
+    }
 
     fn runtime_and_frames() -> (Runtime, Vec<FrameImage>) {
         let world = World::new(42);
@@ -246,6 +357,57 @@ mod tests {
         assert_eq!(o.compute, Duration::ZERO);
         let hv = 1.0 - frame.cloud_fraction();
         assert!((o.precision() - hv).abs() < 0.01);
+    }
+
+    #[test]
+    fn recorded_path_matches_plain_path() {
+        let (runtime, frames) = runtime_and_frames();
+        let mut recorder = kodan_telemetry::SummaryRecorder::new();
+        for frame in &frames {
+            let plain = runtime.process_frame(frame);
+            let recorded = runtime.process_frame_recorded(frame, &mut recorder);
+            assert_eq!(plain, recorded);
+        }
+        let snap = recorder.snapshot();
+        assert_eq!(snap.frames, frames.len() as u64);
+        assert_eq!(snap.counter(CounterId::FramesProcessed), frames.len() as u64);
+    }
+
+    #[test]
+    fn telemetry_agrees_with_outcome_accounting() {
+        let (runtime, frames) = runtime_and_frames();
+        let mut recorder = kodan_telemetry::SummaryRecorder::new();
+        let (total, _) = runtime.process_frames_recorded(frames.iter(), &mut recorder);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(CounterId::PixelsSent), total.sent_px);
+        assert_eq!(snap.counter(CounterId::PixelsValue), total.value_px);
+        assert_eq!(
+            snap.counter(CounterId::TilesProcessed) as usize,
+            total.tiles_processed
+        );
+        assert_eq!(
+            (snap.counter(CounterId::TilesDiscarded) + snap.counter(CounterId::TilesDownlinked))
+                as usize,
+            total.tiles_elided
+        );
+        assert_eq!(
+            snap.counter(CounterId::ModelInvocations),
+            snap.counter(CounterId::TilesProcessed)
+        );
+        // The per-context classification table covers every tile.
+        let classified: u64 = snap.context_tiles.values().sum();
+        assert_eq!(classified, snap.counter(CounterId::TilesObserved));
+        // Span hierarchy: the frame total is the sum of its modeled
+        // children (preprocess + classification + model execution).
+        let children = snap.span(StageId::Preprocess).modeled_seconds
+            + snap.span(StageId::Classification).modeled_seconds
+            + snap.span(StageId::ModelExecution).modeled_seconds;
+        let frame_total = snap.span(StageId::Frame).modeled_seconds;
+        assert!(
+            (children - frame_total).abs() < 1e-9,
+            "children {children} vs frame {frame_total}"
+        );
+        assert!((frame_total - total.compute.as_seconds()).abs() < 1e-9);
     }
 
     #[test]

@@ -92,13 +92,16 @@ impl ScopedRule {
     }
 }
 
-/// The five crates whose artifacts must be bit-reproducible.
-const DETERMINISTIC_CRATES: [&str; 5] = [
+/// The six crates whose artifacts must be bit-reproducible. The
+/// telemetry crate is here by construction: its snapshots are asserted
+/// byte-identical across runs, so wall-clock reads would break them.
+const DETERMINISTIC_CRATES: [&str; 6] = [
     "crates/core/src/",
     "crates/cote/src/",
     "crates/geodata/src/",
     "crates/ml/src/",
     "crates/hw/src/",
+    "crates/telemetry/src/",
 ];
 
 /// The on-orbit runtime path: code that executes per-tile on the
@@ -112,7 +115,7 @@ const RUNTIME_PATH_FILES: [&str; 5] = [
 ];
 
 /// Library-crate roots that must carry the hygiene attributes.
-const LIBRARY_CRATE_ROOTS: [&str; 8] = [
+const LIBRARY_CRATE_ROOTS: [&str; 9] = [
     "crates/core/src/lib.rs",
     "crates/cote/src/lib.rs",
     "crates/geodata/src/lib.rs",
@@ -120,6 +123,7 @@ const LIBRARY_CRATE_ROOTS: [&str; 8] = [
     "crates/hw/src/lib.rs",
     "crates/bench/src/lib.rs",
     "crates/lint/src/lib.rs",
+    "crates/telemetry/src/lib.rs",
     "src/lib.rs",
 ];
 

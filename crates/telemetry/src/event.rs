@@ -1,0 +1,457 @@
+//! The telemetry taxonomy: stages, actions, counters, histograms and the
+//! per-frame event vocabulary.
+//!
+//! Everything here is a closed enum rather than a free-form string: the
+//! snapshot schema is part of the tier-1 contract (byte-stable JSON), so
+//! the set of observable names must be fixed at compile time.
+
+use std::fmt;
+
+/// A pipeline stage that owns a hierarchical span of modeled time.
+///
+/// Stages form a forest: runtime stages hang off [`StageId::Frame`],
+/// transformation stages off [`StageId::Transformation`], and mission
+/// orchestration off [`StageId::Mission`]. Spans accumulate *modeled*
+/// seconds (from the `kodan-hw` latency calibration) where the latency
+/// model defines them; ground-side stages (transformation) carry zero
+/// modeled seconds and use the item count as their magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StageId {
+    /// One whole frame through the on-orbit runtime.
+    Frame,
+    /// Tiling + per-tile resize to the model input resolution.
+    Preprocess,
+    /// Context-engine classification of tiles.
+    Classification,
+    /// Elision decisions (discard / downlink without inference).
+    Elision,
+    /// Specialized-model inference on non-elided tiles.
+    ModelExecution,
+    /// Pixel-level value accounting of model output.
+    Accounting,
+    /// The one-time ground-side transformation.
+    Transformation,
+    /// Context generation (clustering or expert partition).
+    ContextGeneration,
+    /// Context-engine training.
+    EngineTraining,
+    /// Per-grid model specialization (global + per-context + merged).
+    Specialization,
+    /// Per-grid validation statistics gathering.
+    Validation,
+    /// A day-scale mission simulation.
+    Mission,
+    /// Ground-track frame sampling and rendering.
+    FrameSampling,
+}
+
+impl StageId {
+    /// Every stage, in canonical serialization order.
+    pub const ALL: [StageId; 13] = [
+        StageId::Frame,
+        StageId::Preprocess,
+        StageId::Classification,
+        StageId::Elision,
+        StageId::ModelExecution,
+        StageId::Accounting,
+        StageId::Transformation,
+        StageId::ContextGeneration,
+        StageId::EngineTraining,
+        StageId::Specialization,
+        StageId::Validation,
+        StageId::Mission,
+        StageId::FrameSampling,
+    ];
+
+    /// Stable snake_case name used in snapshots and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Frame => "frame",
+            StageId::Preprocess => "preprocess",
+            StageId::Classification => "classification",
+            StageId::Elision => "elision",
+            StageId::ModelExecution => "model_execution",
+            StageId::Accounting => "accounting",
+            StageId::Transformation => "transformation",
+            StageId::ContextGeneration => "context_generation",
+            StageId::EngineTraining => "engine_training",
+            StageId::Specialization => "specialization",
+            StageId::Validation => "validation",
+            StageId::Mission => "mission",
+            StageId::FrameSampling => "frame_sampling",
+        }
+    }
+
+    /// The parent stage, or `None` for a root of the span forest.
+    pub fn parent(self) -> Option<StageId> {
+        match self {
+            StageId::Frame => Some(StageId::Mission),
+            StageId::Preprocess
+            | StageId::Classification
+            | StageId::Elision
+            | StageId::ModelExecution
+            | StageId::Accounting => Some(StageId::Frame),
+            StageId::Transformation => None,
+            StageId::ContextGeneration
+            | StageId::EngineTraining
+            | StageId::Specialization
+            | StageId::Validation => Some(StageId::Transformation),
+            StageId::Mission => None,
+            StageId::FrameSampling => Some(StageId::Mission),
+        }
+    }
+
+    /// Canonical index into dense per-stage arrays.
+    pub(crate) fn index(self) -> usize {
+        StageId::ALL
+            .iter()
+            .position(|&s| s == self)
+            .unwrap_or(0) // unreachable: ALL is exhaustive
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The runtime's per-tile decision, mirrored from `kodan::elide::Action`
+/// (the telemetry crate sits below `kodan` in the dependency graph, so it
+/// carries its own copy of the vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ActionKind {
+    /// Tile dropped without inference.
+    Discard,
+    /// Tile downlinked raw without inference.
+    Downlink,
+    /// Tile processed by the specialized model at the given index.
+    Process {
+        /// Index into the selection logic's model table.
+        model_index: u32,
+    },
+}
+
+impl ActionKind {
+    /// Stable name used for per-action counter keys: `discard`,
+    /// `downlink`, or `process` (all model indices fold together —
+    /// per-model attribution lives in [`TelemetryEvent::ModelInvoked`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionKind::Discard => "discard",
+            ActionKind::Downlink => "downlink",
+            ActionKind::Process { .. } => "process",
+        }
+    }
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionKind::Process { model_index } => write!(f, "model#{model_index}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// A typed monotonic counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CounterId {
+    /// Frames pushed through the runtime.
+    FramesProcessed,
+    /// Tiles observed across all frames.
+    TilesObserved,
+    /// Tiles elided by the discard action.
+    TilesDiscarded,
+    /// Tiles elided by the raw-downlink action.
+    TilesDownlinked,
+    /// Tiles sent through a specialized model.
+    TilesProcessed,
+    /// Specialized-model invocations (one per processed tile).
+    ModelInvocations,
+    /// Classifications served by the learned nearest-centroid engine.
+    LearnedClassifications,
+    /// Classifications served by the expert map engine.
+    ExpertClassifications,
+    /// Pixels enqueued for downlink.
+    PixelsSent,
+    /// Of the sent pixels, genuinely high-value ones.
+    PixelsValue,
+    /// Specialized models trained by the transformation.
+    ModelsTrained,
+    /// Multi-context (merged) models trained by the transformation.
+    MergedModelsTrained,
+    /// Contexts produced by context generation.
+    ContextsGenerated,
+}
+
+impl CounterId {
+    /// Every counter, in canonical serialization order.
+    pub const ALL: [CounterId; 13] = [
+        CounterId::FramesProcessed,
+        CounterId::TilesObserved,
+        CounterId::TilesDiscarded,
+        CounterId::TilesDownlinked,
+        CounterId::TilesProcessed,
+        CounterId::ModelInvocations,
+        CounterId::LearnedClassifications,
+        CounterId::ExpertClassifications,
+        CounterId::PixelsSent,
+        CounterId::PixelsValue,
+        CounterId::ModelsTrained,
+        CounterId::MergedModelsTrained,
+        CounterId::ContextsGenerated,
+    ];
+
+    /// Stable snake_case name used in snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::FramesProcessed => "frames_processed",
+            CounterId::TilesObserved => "tiles_observed",
+            CounterId::TilesDiscarded => "tiles_discarded",
+            CounterId::TilesDownlinked => "tiles_downlinked",
+            CounterId::TilesProcessed => "tiles_processed",
+            CounterId::ModelInvocations => "model_invocations",
+            CounterId::LearnedClassifications => "learned_classifications",
+            CounterId::ExpertClassifications => "expert_classifications",
+            CounterId::PixelsSent => "pixels_sent",
+            CounterId::PixelsValue => "pixels_value",
+            CounterId::ModelsTrained => "models_trained",
+            CounterId::MergedModelsTrained => "merged_models_trained",
+            CounterId::ContextsGenerated => "contexts_generated",
+        }
+    }
+
+    /// Canonical index into dense per-counter arrays.
+    pub(crate) fn index(self) -> usize {
+        CounterId::ALL
+            .iter()
+            .position(|&c| c == self)
+            .unwrap_or(0) // unreachable: ALL is exhaustive
+    }
+}
+
+impl fmt::Display for CounterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fixed-bucket histogram identifier. Bucket bounds are compiled in so
+/// that two runs of the same seed bucket identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HistogramId {
+    /// Modeled per-tile specialized-model latency, seconds.
+    ModelLatencySeconds,
+    /// Modeled whole-frame compute time, seconds.
+    FrameComputeSeconds,
+    /// Per-frame downlink precision (value pixels / sent pixels).
+    FramePrecision,
+    /// Per-frame fraction of tiles elided (discard + raw downlink).
+    FrameElisionFraction,
+}
+
+impl HistogramId {
+    /// Every histogram, in canonical serialization order.
+    pub const ALL: [HistogramId; 4] = [
+        HistogramId::ModelLatencySeconds,
+        HistogramId::FrameComputeSeconds,
+        HistogramId::FramePrecision,
+        HistogramId::FrameElisionFraction,
+    ];
+
+    /// Stable snake_case name used in snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistogramId::ModelLatencySeconds => "model_latency_seconds",
+            HistogramId::FrameComputeSeconds => "frame_compute_seconds",
+            HistogramId::FramePrecision => "frame_precision",
+            HistogramId::FrameElisionFraction => "frame_elision_fraction",
+        }
+    }
+
+    /// The upper bounds of the finite buckets; one overflow bucket is
+    /// implied above the last bound. A value `v` lands in the first
+    /// bucket whose bound satisfies `v <= bound`.
+    pub fn bounds(self) -> &'static [f64] {
+        match self {
+            HistogramId::ModelLatencySeconds => &[
+                0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+            ],
+            HistogramId::FrameComputeSeconds => &[
+                0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0,
+            ],
+            HistogramId::FramePrecision | HistogramId::FrameElisionFraction => &[
+                0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+            ],
+        }
+    }
+
+    /// Canonical index into dense per-histogram arrays.
+    pub(crate) fn index(self) -> usize {
+        HistogramId::ALL
+            .iter()
+            .position(|&h| h == self)
+            .unwrap_or(0) // unreachable: ALL is exhaustive
+    }
+}
+
+impl fmt::Display for HistogramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One entry of the per-frame event journal.
+///
+/// Events carry no frame number: a [`TelemetryEvent::FrameCaptured`]
+/// marker opens a frame and every following event belongs to it, so the
+/// journal groups itself. Tile indices are tile-raster order within the
+/// frame's grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryEvent {
+    /// A frame entered the runtime.
+    FrameCaptured {
+        /// Native pixels in the frame.
+        pixels: u64,
+    },
+    /// The context engine assigned a tile to a context.
+    TileClassified {
+        /// Tile index within the frame.
+        tile: u32,
+        /// Assigned context id.
+        context: u32,
+    },
+    /// The selection logic's action was taken for a tile.
+    ActionTaken {
+        /// Tile index within the frame.
+        tile: u32,
+        /// The action.
+        action: ActionKind,
+    },
+    /// A specialized model ran on a tile.
+    ModelInvoked {
+        /// Tile index within the frame.
+        tile: u32,
+        /// Index into the selection logic's model table.
+        model_index: u32,
+        /// Modeled inference time, seconds.
+        modeled_seconds: f64,
+    },
+    /// Frame-level pixel accounting was finalized.
+    PixelsAccounted {
+        /// Pixels enqueued for downlink.
+        sent_px: u64,
+        /// Of those, genuinely high-value pixels.
+        value_px: u64,
+        /// Total pixels observed in the frame.
+        observed_px: u64,
+    },
+}
+
+impl fmt::Display for TelemetryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryEvent::FrameCaptured { pixels } => {
+                write!(f, "frame_captured pixels={pixels}")
+            }
+            TelemetryEvent::TileClassified { tile, context } => {
+                write!(f, "tile_classified tile={tile} context={context}")
+            }
+            TelemetryEvent::ActionTaken { tile, action } => {
+                write!(f, "action_taken tile={tile} action={action}")
+            }
+            TelemetryEvent::ModelInvoked {
+                tile,
+                model_index,
+                modeled_seconds,
+            } => write!(
+                f,
+                "model_invoked tile={tile} model={model_index} modeled_s={}",
+                crate::json::format_f64(*modeled_seconds)
+            ),
+            TelemetryEvent::PixelsAccounted {
+                sent_px,
+                value_px,
+                observed_px,
+            } => write!(
+                f,
+                "pixels_accounted sent={sent_px} value={value_px} observed={observed_px}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_are_dense_and_unique() {
+        for (i, s) in StageId::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn stage_parents_form_a_forest() {
+        // Walking parents from any stage terminates at a root.
+        for s in StageId::ALL {
+            let mut cur = s;
+            let mut hops = 0;
+            while let Some(p) = cur.parent() {
+                cur = p;
+                hops += 1;
+                assert!(hops < 10, "parent cycle at {s}");
+            }
+        }
+        assert_eq!(StageId::Mission.parent(), None);
+        assert_eq!(StageId::Transformation.parent(), None);
+        assert_eq!(StageId::ModelExecution.parent(), Some(StageId::Frame));
+    }
+
+    #[test]
+    fn names_are_snake_case_and_unique() {
+        let mut names: Vec<&str> = StageId::ALL.iter().map(|s| s.name()).collect();
+        names.extend(CounterId::ALL.iter().map(|c| c.name()));
+        names.extend(HistogramId::ALL.iter().map(|h| h.name()));
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate telemetry names");
+        for n in names {
+            assert!(n
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted() {
+        for h in HistogramId::ALL {
+            let b = h.bounds();
+            assert!(!b.is_empty());
+            for w in b.windows(2) {
+                assert!(w[0] < w[1], "{h} bounds unsorted");
+            }
+        }
+    }
+
+    #[test]
+    fn events_render_compactly() {
+        let e = TelemetryEvent::ActionTaken {
+            tile: 3,
+            action: ActionKind::Process { model_index: 1 },
+        };
+        assert_eq!(e.to_string(), "action_taken tile=3 action=model#1");
+        let c = TelemetryEvent::TileClassified { tile: 0, context: 2 };
+        assert_eq!(c.to_string(), "tile_classified tile=0 context=2");
+    }
+
+    #[test]
+    fn action_names_fold_model_indices() {
+        assert_eq!(ActionKind::Process { model_index: 0 }.name(), "process");
+        assert_eq!(ActionKind::Process { model_index: 5 }.name(), "process");
+        assert_eq!(ActionKind::Discard.name(), "discard");
+    }
+}

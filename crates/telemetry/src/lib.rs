@@ -1,0 +1,48 @@
+//! # kodan-telemetry
+//!
+//! Deterministic observability for the Kodan reproduction.
+//!
+//! Kodan's headline numbers (3×–4.7× DVD over a bent pipe) emerge from a
+//! long causal chain — tiling → context classification → elision decision
+//! → model execution → value accounting — and a regression anywhere in
+//! that chain surfaces only as a shifted final aggregate. This crate
+//! makes the chain observable *as data* without breaking the two
+//! invariants the rest of the workspace is built on:
+//!
+//! 1. **Determinism.** Spans are keyed on *modeled* simulation/compute
+//!    time (the `kodan-hw` latency model), never on `Instant` or
+//!    `SystemTime`; every aggregate uses `BTreeMap` so that serialized
+//!    snapshots are byte-identical across runs of the same seed. The
+//!    crate is inside the lint gate's determinism scope and is clean by
+//!    construction.
+//! 2. **Panic safety / zero cost off.** Instrumentation goes through the
+//!    [`Recorder`] trait; the [`NullRecorder`] compiles every call to a
+//!    no-op, so the un-instrumented hot path stays the hot path.
+//!
+//! The three surfaces:
+//!
+//! - **Events** ([`TelemetryEvent`]): a per-frame journal of every
+//!   decision the runtime takes (frame captured, tile classified, action
+//!   taken, model invoked, pixels accounted).
+//! - **Spans** ([`StageId`]): hierarchical per-stage totals of modeled
+//!   compute time and work items.
+//! - **Counters and histograms** ([`CounterId`], [`HistogramId`]): typed
+//!   monotonic counts and fixed-bucket distributions (model latency,
+//!   per-frame precision, queue depth).
+//!
+//! A [`SummaryRecorder`] folds all three into a [`TelemetrySnapshot`],
+//! which serializes to schema-stable, byte-deterministic JSON via
+//! [`snapshot::TelemetrySnapshot::to_json`] — the workspace's serde is an
+//! offline no-op shim, so the writer lives here ([`json`]).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod snapshot;
+
+pub use event::{ActionKind, CounterId, HistogramId, StageId, TelemetryEvent};
+pub use recorder::{NullRecorder, Recorder, SummaryRecorder};
+pub use snapshot::{HistogramSnapshot, SpanTotal, TelemetrySnapshot};

@@ -1,0 +1,286 @@
+//! The rolled-up telemetry snapshot and its byte-stable JSON form.
+
+use crate::event::{CounterId, HistogramId, StageId};
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+
+/// Schema version stamped into every serialized snapshot; bump when a
+/// field is added, renamed or re-typed.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// Accumulated totals for one span stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanTotal {
+    /// Total modeled time attributed to the stage, seconds. Zero for
+    /// ground-side stages the latency model does not cover.
+    pub modeled_seconds: f64,
+    /// Work items the stage handled (tiles, frames, models — the stage's
+    /// natural unit).
+    pub items: u64,
+    /// Number of span records folded into this total.
+    pub calls: u64,
+}
+
+/// A frozen fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets (compiled into the
+    /// [`HistogramId`]); an overflow bucket is implied above the last.
+    pub bounds: &'static [f64],
+    /// Per-bucket observation counts, `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram for the given id.
+    pub fn empty(id: HistogramId) -> HistogramSnapshot {
+        let bounds = id.bounds();
+        HistogramSnapshot {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Mean observed value, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything a [`crate::SummaryRecorder`] learned, rolled up for
+/// reporting: per-stage span totals, typed counters, per-action and
+/// per-context tile counts, per-model invocation counts, fixed-bucket
+/// histograms, and the (possibly truncated) per-frame event journal.
+///
+/// All maps are `BTreeMap`s and every enum-keyed table is emitted in
+/// canonical declaration order, so [`TelemetrySnapshot::to_json`] is
+/// byte-deterministic for a given recorded history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Frames opened with `FrameCaptured`.
+    pub frames: u64,
+    /// Total events recorded (journaled or not).
+    pub events: u64,
+    /// Per-stage span totals, keyed by [`StageId::name`]. Every stage is
+    /// present (zeroed when untouched) so the schema never shifts.
+    pub spans: BTreeMap<String, SpanTotal>,
+    /// Typed counters, keyed by [`CounterId::name`]; all present.
+    pub counters: BTreeMap<String, u64>,
+    /// Tiles per action (`discard` / `downlink` / `process`).
+    pub actions: BTreeMap<String, u64>,
+    /// Tiles classified into each context, keyed `c<ID>` zero-padded so
+    /// lexicographic order equals numeric order.
+    pub context_tiles: BTreeMap<String, u64>,
+    /// Invocations of each model-table entry, keyed `m<ID>` zero-padded.
+    pub model_invocations: BTreeMap<String, u64>,
+    /// Fixed-bucket histograms, keyed by [`HistogramId::name`]; all
+    /// present.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Journaled frames: each inner vec is one frame's events rendered in
+    /// emission order (`TelemetryEvent`'s `Display` form).
+    pub journal: Vec<Vec<String>>,
+    /// Frames whose events were dropped from the journal under the
+    /// recorder's frame cap (counted so truncation is never silent).
+    pub journal_truncated_frames: u64,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot with the full schema present.
+    pub fn empty() -> TelemetrySnapshot {
+        let spans = StageId::ALL
+            .iter()
+            .map(|s| (s.name().to_string(), SpanTotal::default()))
+            .collect();
+        let counters = CounterId::ALL
+            .iter()
+            .map(|c| (c.name().to_string(), 0u64))
+            .collect();
+        let actions = ["discard", "downlink", "process"]
+            .iter()
+            .map(|a| (a.to_string(), 0u64))
+            .collect();
+        let histograms = HistogramId::ALL
+            .iter()
+            .map(|&h| (h.name().to_string(), HistogramSnapshot::empty(h)))
+            .collect();
+        TelemetrySnapshot {
+            frames: 0,
+            events: 0,
+            spans,
+            counters,
+            actions,
+            context_tiles: BTreeMap::new(),
+            model_invocations: BTreeMap::new(),
+            histograms,
+            journal: Vec::new(),
+            journal_truncated_frames: 0,
+        }
+    }
+
+    /// A counter's value by id (0 when absent, which cannot happen for
+    /// snapshots built by this crate).
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters.get(id.name()).copied().unwrap_or(0)
+    }
+
+    /// A stage's span total by id.
+    pub fn span(&self, id: StageId) -> SpanTotal {
+        self.spans.get(id.name()).copied().unwrap_or_default()
+    }
+
+    /// A histogram by id.
+    pub fn histogram(&self, id: HistogramId) -> Option<&HistogramSnapshot> {
+        self.histograms.get(id.name())
+    }
+
+    /// Serializes the snapshot to pretty-printed, byte-deterministic
+    /// JSON. Two snapshots that compare equal serialize identically.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+        w.uint(Some("schema_version"), u64::from(SNAPSHOT_SCHEMA_VERSION));
+        w.uint(Some("frames"), self.frames);
+        w.uint(Some("events"), self.events);
+
+        w.open_object(Some("spans"));
+        for (name, total) in &self.spans {
+            w.open_object(Some(name));
+            let parent = StageId::ALL
+                .iter()
+                .find(|s| s.name() == name)
+                .and_then(|s| s.parent());
+            match parent {
+                Some(p) => w.string(Some("parent"), p.name()),
+                None => w.string(Some("parent"), ""),
+            }
+            w.float(Some("modeled_seconds"), total.modeled_seconds);
+            w.uint(Some("items"), total.items);
+            w.uint(Some("calls"), total.calls);
+            w.close_object();
+        }
+        w.close_object();
+
+        w.open_object(Some("counters"));
+        for (name, value) in &self.counters {
+            w.uint(Some(name), *value);
+        }
+        w.close_object();
+
+        w.open_object(Some("actions"));
+        for (name, value) in &self.actions {
+            w.uint(Some(name), *value);
+        }
+        w.close_object();
+
+        w.open_object(Some("context_tiles"));
+        for (name, value) in &self.context_tiles {
+            w.uint(Some(name), *value);
+        }
+        w.close_object();
+
+        w.open_object(Some("model_invocations"));
+        for (name, value) in &self.model_invocations {
+            w.uint(Some(name), *value);
+        }
+        w.close_object();
+
+        w.open_object(Some("histograms"));
+        for (name, h) in &self.histograms {
+            w.open_object(Some(name));
+            w.open_array(Some("bounds"));
+            for b in h.bounds {
+                w.float(None, *b);
+            }
+            w.close_array();
+            w.open_array(Some("counts"));
+            for c in &h.counts {
+                w.uint(None, *c);
+            }
+            w.close_array();
+            w.uint(Some("count"), h.count);
+            w.float(Some("sum"), h.sum);
+            w.float(Some("min"), h.min);
+            w.float(Some("max"), h.max);
+            w.close_object();
+        }
+        w.close_object();
+
+        w.open_array(Some("journal"));
+        for frame_events in &self.journal {
+            w.open_array(None);
+            for line in frame_events {
+                w.string(None, line);
+            }
+            w.close_array();
+        }
+        w.close_array();
+        w.uint(
+            Some("journal_truncated_frames"),
+            self.journal_truncated_frames,
+        );
+
+        w.close_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_has_full_schema() {
+        let s = TelemetrySnapshot::empty();
+        assert_eq!(s.spans.len(), StageId::ALL.len());
+        assert_eq!(s.counters.len(), CounterId::ALL.len());
+        assert_eq!(s.histograms.len(), HistogramId::ALL.len());
+        assert_eq!(s.actions.len(), 3);
+        assert_eq!(s.counter(CounterId::FramesProcessed), 0);
+        assert_eq!(s.span(StageId::Frame).calls, 0);
+    }
+
+    #[test]
+    fn json_is_byte_deterministic() {
+        let mut a = TelemetrySnapshot::empty();
+        a.frames = 2;
+        a.context_tiles.insert("c00".to_string(), 7);
+        a.journal.push(vec!["frame_captured pixels=4".to_string()]);
+        let b = a.clone();
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"schema_version\": 1"));
+        assert!(a.to_json().contains("\"c00\": 7"));
+    }
+
+    #[test]
+    fn histogram_mean_guards_empty() {
+        let h = HistogramSnapshot::empty(HistogramId::FramePrecision);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn span_parents_serialize() {
+        let s = TelemetrySnapshot::empty();
+        let json = s.to_json();
+        // model_execution hangs off frame; mission is a root (empty
+        // parent string).
+        assert!(json.contains("\"model_execution\""));
+        assert!(json.contains("\"parent\": \"frame\""));
+        assert!(json.contains("\"parent\": \"\""));
+    }
+}

@@ -13,6 +13,7 @@
 //! - [`kodan_geodata`] — the procedural geospatial dataset.
 //! - [`kodan_ml`] — the pure-Rust machine-learning substrate.
 //! - [`kodan_hw`] — hardware deployment-target performance models.
+//! - [`kodan_telemetry`] — the deterministic observability substrate.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -22,3 +23,4 @@ pub use kodan_cote;
 pub use kodan_geodata;
 pub use kodan_hw;
 pub use kodan_ml;
+pub use kodan_telemetry;

@@ -11,6 +11,7 @@ use kodan::KodanConfig;
 use kodan_geodata::{Dataset, DatasetConfig, World};
 use kodan_hw::HwTarget;
 use kodan_ml::ModelArch;
+use kodan_telemetry::SummaryRecorder;
 
 fn small_dataset(seed: u64) -> Dataset {
     let mut cfg = DatasetConfig::small(seed);
@@ -67,6 +68,45 @@ fn missions_are_reproducible() {
         Mission::new(&env, &world, params).run_with_runtime(&runtime, SystemKind::Kodan)
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn telemetry_snapshots_are_byte_identical() {
+    // Two runs of the same seeded pipeline — transformation plus a kodan
+    // mission, both instrumented — must serialize to byte-identical JSON.
+    // This is the observability contract: a snapshot diff is a behavior
+    // diff, never serialization noise.
+    let dataset = small_dataset(1);
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = World::new(42);
+    let params = MissionParams {
+        sample_frames: 4,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 1.0,
+    };
+    let run = || {
+        let mut recorder = SummaryRecorder::new();
+        let artifacts = Transformation::new(KodanConfig::fast(9))
+            .run_recorded(&dataset, ModelArch::MobileNetV2DilatedC1, &mut recorder)
+            .expect("transformation succeeds");
+        let logic = artifacts.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let runtime = Runtime::new(logic, artifacts.engine.clone());
+        Mission::new(&env, &world, params).run_with_runtime_recorded(
+            &runtime,
+            SystemKind::Kodan,
+            &mut recorder,
+        );
+        recorder.snapshot().to_json()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a.as_bytes(), b.as_bytes(), "snapshot JSON must be byte-stable");
 }
 
 #[test]

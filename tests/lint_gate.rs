@@ -63,6 +63,36 @@ fn gate_catches_a_seeded_violation() {
 }
 
 #[test]
+fn gate_covers_the_telemetry_crate() {
+    // The telemetry crate promises byte-identical snapshots across runs,
+    // so it must sit inside the determinism scope. Seed a wall-clock read
+    // into a fake crates/telemetry tree and confirm the gate fires — this
+    // is the self-check that keeps "modeled time only" enforced rather
+    // than aspirational.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_gate_telemetry_fixture");
+    let src_dir = dir.join("crates/telemetry/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+    std::fs::write(
+        src_dir.join("recorder.rs"),
+        "use std::time::Instant;\n\
+         pub fn stamp() -> Instant { Instant::now() }\n",
+    )
+    .expect("write fixture");
+
+    let rules = default_rules();
+    let report = check(&dir, &rules).expect("fixture scan succeeds");
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.exit_code(), 1, "determinism bit must fire");
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule_id == "wall-clock"),
+        "expected a wall-clock diagnostic, got: {:?}",
+        report.diagnostics
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn suppressions_survive_the_real_pipeline() {
     // The escape hatch documented in DESIGN.md must keep working: the
     // gate's usefulness depends on allows being honoured verbatim.

@@ -1,0 +1,115 @@
+//! Tier-1 telemetry gate: the observability layer must be free when off
+//! and faithful when on.
+//!
+//! "Free when off" means the [`NullRecorder`] path is byte-for-byte the
+//! plain pipeline: identical outcomes, no events, no allocation of any
+//! journal state. "Faithful when on" means a [`SummaryRecorder`] driven
+//! through a real transformation and mission produces a snapshot whose
+//! counters, spans and journal agree with the pipeline's own accounting.
+
+mod common;
+
+use kodan::mission::{Mission, MissionParams, SpaceEnvironment, SystemKind};
+use kodan::runtime::Runtime;
+use kodan_hw::HwTarget;
+use kodan_telemetry::{NullRecorder, Recorder, StageId, SummaryRecorder, TelemetryEvent};
+
+fn mission_env() -> (SpaceEnvironment, MissionParams) {
+    let env = SpaceEnvironment::fixed(0.21);
+    let params = MissionParams {
+        sample_frames: 4,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 1.0,
+    };
+    (env, params)
+}
+
+#[test]
+fn null_recorder_is_disabled_and_absorbs_everything() {
+    let mut null = NullRecorder;
+    assert!(!null.enabled());
+    // Feed it every kind of signal; nothing observable may happen.
+    null.event(TelemetryEvent::FrameCaptured { pixels: 1 });
+    null.span(StageId::Mission, 1.0, 1);
+    null.count(kodan_telemetry::CounterId::FramesProcessed, 1);
+    null.observe(kodan_telemetry::HistogramId::FramePrecision, 0.5);
+}
+
+#[test]
+fn null_recorded_path_equals_plain_path() {
+    let artifacts = common::test_artifacts();
+    let (env, params) = mission_env();
+    let world = common::test_world();
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let runtime = Runtime::new(logic, artifacts.engine.clone());
+    let mission = Mission::new(&env, &world, params);
+    let plain = mission.run_with_runtime(&runtime, SystemKind::Kodan);
+    let recorded =
+        mission.run_with_runtime_recorded(&runtime, SystemKind::Kodan, &mut NullRecorder);
+    assert_eq!(plain, recorded);
+}
+
+#[test]
+fn summary_recorder_snapshot_is_faithful_end_to_end() {
+    let artifacts = common::test_artifacts();
+    let (env, params) = mission_env();
+    let world = common::test_world();
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let runtime = Runtime::new(logic, artifacts.engine.clone());
+    let mission = Mission::new(&env, &world, params);
+
+    let mut recorder = SummaryRecorder::new();
+    let report =
+        mission.run_with_runtime_recorded(&runtime, SystemKind::Kodan, &mut recorder);
+    let snapshot = recorder.snapshot();
+
+    // Frame counting agrees with the mission parameters.
+    assert_eq!(snapshot.frames, params.sample_frames as u64);
+    assert!(snapshot.events > 0, "an instrumented mission emits events");
+
+    // The mission span's modeled time is the mission's own compute total.
+    let mission_span = snapshot
+        .spans
+        .get(StageId::Mission.name())
+        .expect("mission span present");
+    assert_eq!(mission_span.calls, 1);
+    assert!(
+        (mission_span.modeled_seconds
+            - report.mean_frame_time.as_seconds() * params.sample_frames as f64)
+            .abs()
+            < 1e-6,
+        "mission span {} vs report {}",
+        mission_span.modeled_seconds,
+        report.mean_frame_time.as_seconds() * params.sample_frames as f64
+    );
+
+    // Per-action tile counters partition the observed tiles.
+    let observed = snapshot
+        .counters
+        .get("tiles_observed")
+        .copied()
+        .expect("tiles_observed counter");
+    let partition: u64 = snapshot.actions.values().sum();
+    assert_eq!(observed, partition, "actions must partition observed tiles");
+
+    // Per-context classification counts cover the same tiles.
+    let classified: u64 = snapshot.context_tiles.values().sum();
+    assert_eq!(observed, classified);
+
+    // The journal captured at least the first frame, and the snapshot
+    // round-trips through its own JSON without losing the schema header.
+    assert!(!snapshot.journal.is_empty());
+    let json = snapshot.to_json();
+    assert!(json.contains("\"schema_version\": 1"));
+    assert!(json.contains("\"spans\""));
+    assert!(json.contains("\"journal\""));
+}
