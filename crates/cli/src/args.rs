@@ -1,6 +1,6 @@
 //! Flag parsing for the `kodan` CLI. Hand-rolled on purpose: the
 //! sanctioned dependency set has no argument parser, and the surface is
-//! five flags.
+//! a handful of flags.
 
 use kodan_hw::HwTarget;
 use kodan_ml::ModelArch;
@@ -24,6 +24,8 @@ pub struct Options {
     pub sats: usize,
     /// Write a telemetry snapshot (byte-deterministic JSON) to this path.
     pub telemetry: Option<String>,
+    /// Worker threads for frame processing and training (0 = auto).
+    pub workers: usize,
 }
 
 impl Default for Options {
@@ -37,6 +39,7 @@ impl Default for Options {
             expert: false,
             sats: 1,
             telemetry: None,
+            workers: 0,
         }
     }
 }
@@ -69,6 +72,7 @@ impl Options {
                 "--contexts" => options.contexts = next_value(&mut iter, flag)?,
                 "--sats" => options.sats = next_value(&mut iter, flag)?,
                 "--telemetry" => options.telemetry = Some(next_value(&mut iter, flag)?),
+                "--workers" => options.workers = next_value(&mut iter, flag)?,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -116,6 +120,7 @@ mod tests {
         let o = parse(&[
             "--app", "7", "--target", "gpu", "--seed", "9", "--frames", "16",
             "--contexts", "4", "--expert", "--sats", "8", "--telemetry", "out.json",
+            "--workers", "4",
         ])
         .unwrap();
         assert_eq!(o.app, ModelArch::ResNet101DilatedPpm);
@@ -126,6 +131,13 @@ mod tests {
         assert!(o.expert);
         assert_eq!(o.sats, 8);
         assert_eq!(o.telemetry.as_deref(), Some("out.json"));
+        assert_eq!(o.workers, 4);
+    }
+
+    #[test]
+    fn workers_defaults_to_auto() {
+        assert_eq!(parse(&[]).unwrap().workers, 0);
+        assert_eq!(parse(&["--workers", "2"]).unwrap().workers, 2);
     }
 
     #[test]
@@ -148,6 +160,7 @@ mod tests {
         assert!(parse(&["--target", "tpu"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--frames", "0"]).is_err());
+        assert!(parse(&["--workers", "many"]).is_err());
         assert!(parse(&["--bogus", "1"]).is_err());
     }
 }

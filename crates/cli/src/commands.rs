@@ -35,7 +35,9 @@ FLAGS:
   --contexts K   automatic context count                    [6]
   --expert       expert (surface-type) contexts
   --sats N       constellation size for the environment     [1]
-  --telemetry P  write a telemetry snapshot (JSON) to path P";
+  --telemetry P  write a telemetry snapshot (JSON) to path P
+  --workers N    worker threads (0 = auto; outputs are
+                 identical for any worker count)          [0]";
 
 fn build_dataset(options: &Options) -> (World, Dataset) {
     let world = World::new(options.seed);
@@ -54,6 +56,7 @@ fn build_config(options: &Options) -> KodanConfig {
     if options.expert {
         config.generation = ContextGenerationKind::Expert;
     }
+    config.workers = options.workers;
     config
 }
 
@@ -240,7 +243,7 @@ pub fn mission(options: &Options) -> Result<(), String> {
         env.capacity_fraction,
     );
     let direct = mission.run_with_runtime(
-        &Runtime::new(direct_logic, artifacts.engine.clone()),
+        &Runtime::new(direct_logic, artifacts.engine.clone()).with_workers(options.workers),
         SystemKind::DirectDeploy,
     );
     let kodan_logic = artifacts.select_with_capacity(
@@ -249,7 +252,7 @@ pub fn mission(options: &Options) -> Result<(), String> {
         env.capacity_fraction,
     );
     let kodan = mission.run_with_runtime_recorded(
-        &Runtime::new(kodan_logic, artifacts.engine.clone()),
+        &Runtime::new(kodan_logic, artifacts.engine.clone()).with_workers(options.workers),
         SystemKind::Kodan,
         &mut recorder,
     );

@@ -53,6 +53,12 @@ pub struct KodanConfig {
     /// Apply training-time data augmentation (dihedral flips and
     /// radiometric jitter), as in the paper's methodology section.
     pub augment: bool,
+    /// Worker threads for parallel model training during the
+    /// transformation step; `0` means auto-detect (available parallelism,
+    /// capped). Any value produces bit-identical artifacts — training RNG
+    /// streams are keyed on seed and task identity, never on workers —
+    /// so presets keep `0` and configurations stay machine-independent.
+    pub workers: usize,
 }
 
 impl KodanConfig {
@@ -70,6 +76,7 @@ impl KodanConfig {
             max_eval_tiles: 360,
             train_fraction: 0.7,
             augment: true,
+            workers: 0,
         }
     }
 
@@ -89,6 +96,7 @@ impl KodanConfig {
             max_eval_tiles: 48,
             train_fraction: 0.7,
             augment: false,
+            workers: 0,
         }
     }
 
@@ -138,6 +146,14 @@ mod tests {
         let c = KodanConfig::evaluation(0);
         let tiles: Vec<usize> = c.tile_grids.iter().map(|g| g * g).collect();
         assert_eq!(tiles, vec![9, 16, 36, 121]);
+    }
+
+    #[test]
+    fn presets_default_to_auto_workers() {
+        // `workers: 0` (auto) keeps serialized configurations
+        // machine-independent; the resolved count never affects outputs.
+        assert_eq!(KodanConfig::evaluation(1).workers, 0);
+        assert_eq!(KodanConfig::fast(1).workers, 0);
     }
 
     #[test]

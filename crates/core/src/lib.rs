@@ -58,6 +58,7 @@ pub mod dvd;
 pub mod elide;
 pub mod engine;
 pub mod mission;
+pub mod par;
 pub mod pipeline;
 pub mod queue;
 pub mod runtime;

@@ -214,8 +214,11 @@ impl<'a> Mission<'a> {
     /// Runs the bent-pipe baseline.
     pub fn run_bent_pipe(&self) -> MissionReport {
         let frames = self.sample_frames();
-        let outcomes: Vec<FrameOutcome> = frames.iter().map(bent_pipe_frame).collect();
-        self.summarize(SystemKind::BentPipe, &outcomes, Duration::ZERO)
+        let mut total = FrameOutcome::default();
+        for frame in &frames {
+            total.absorb(&bent_pipe_frame(frame));
+        }
+        self.summarize(SystemKind::BentPipe, &total, Duration::ZERO)
     }
 
     /// Runs a mission with a prepared runtime (direct deploy or Kodan,
@@ -235,32 +238,23 @@ impl<'a> Mission<'a> {
     ) -> MissionReport {
         let frames = self.sample_frames();
         recorder.span(StageId::FrameSampling, 0.0, frames.len() as u64);
-        let outcomes: Vec<FrameOutcome> = frames
-            .iter()
-            .map(|f| runtime.process_frame_recorded(f, recorder))
-            .collect();
-        let total_compute = outcomes
-            .iter()
-            .fold(Duration::ZERO, |acc, o| acc + o.compute);
-        let mean_time = total_compute / outcomes.len() as f64;
-        recorder.span(StageId::Mission, total_compute.as_seconds(), frames.len() as u64);
-        self.summarize(system, &outcomes, mean_time)
+        // Fans out across the runtime's worker threads; the aggregate and
+        // the recorder's call sequence are bit-identical to serial.
+        let (total, mean_time) = runtime.process_frames_recorded(frames.iter(), recorder);
+        recorder.span(StageId::Mission, total.compute.as_seconds(), frames.len() as u64);
+        self.summarize(system, &total, mean_time)
     }
 
     fn summarize(
         &self,
         system: SystemKind,
-        outcomes: &[FrameOutcome],
+        total: &FrameOutcome,
         mean_frame_time: Duration,
     ) -> MissionReport {
-        let observed_px: u64 = outcomes.iter().map(|o| o.observed_px).sum();
-        let observed_value_px: u64 = outcomes.iter().map(|o| o.observed_value_px).sum();
-        let sent_px: u64 = outcomes.iter().map(|o| o.sent_px).sum();
-        let value_px: u64 = outcomes.iter().map(|o| o.value_px).sum();
-
-        let sent_fraction = sent_px as f64 / observed_px.max(1) as f64;
-        let value_fraction = value_px as f64 / observed_px.max(1) as f64;
-        let hv_prevalence = observed_value_px as f64 / observed_px.max(1) as f64;
+        let sent_fraction = total.sent_px as f64 / total.observed_px.max(1) as f64;
+        let value_fraction = total.value_px as f64 / total.observed_px.max(1) as f64;
+        let hv_prevalence =
+            total.observed_value_px as f64 / total.observed_px.max(1) as f64;
 
         let processed_fraction = if system == SystemKind::BentPipe
             || mean_frame_time <= self.env.frame_deadline
@@ -333,8 +327,7 @@ impl<'a> Mission<'a> {
         assert!(storage_px > 0.0, "storage must be positive");
         assert!(bits_per_px > 0.0, "pixels must have bits");
         let frames = self.sample_frames();
-        let outcomes: Vec<FrameOutcome> =
-            frames.iter().map(|f| runtime.process_frame(f)).collect();
+        let outcomes: Vec<FrameOutcome> = runtime.frame_outcomes(&frames);
         let mean_time = outcomes
             .iter()
             .fold(Duration::ZERO, |acc, o| acc + o.compute)

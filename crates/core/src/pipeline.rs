@@ -231,7 +231,7 @@ impl Transformation {
                 arch,
                 &contexts,
                 &engine,
-                config.seed.wrapping_add(i as u64 * 101),
+                crate::par::stream_seed(config.seed, i as u64 * 101),
                 recorder,
             ));
         }
@@ -272,8 +272,6 @@ impl Transformation {
 
         let mut train_cfg = config.train;
         train_cfg.seed = seed;
-        let global_model =
-            SpecializedModel::train_global(&train_tiles, arch, config.max_train_pixels, &train_cfg);
 
         // Specialized models are trained on *engine-assigned* tile
         // subsets: the runtime routes tiles by the deployed engine, so
@@ -284,26 +282,27 @@ impl Transformation {
         for t in &train_tiles {
             engine_subsets[engine.classify(t).0].push(t.clone());
         }
-        let mut context_models: Vec<Option<SpecializedModel>> = Vec::with_capacity(k);
+
+        // Training is embarrassingly parallel across models: every task's
+        // RNG stream is derived from the grid seed and the task's stable
+        // identity (context id, merged pair), never from worker or
+        // completion order, so the trained weights are bit-identical to a
+        // serial run. The task list is built in the serial order (global,
+        // contexts ascending, merged pairs in value-profile order) and
+        // results come back index-keyed in that same order.
+        enum TrainTask<'t> {
+            Global,
+            Context(usize, &'t [TileImage]),
+            Merged(usize, usize, Vec<TileImage>),
+        }
+        let mut tasks: Vec<TrainTask<'_>> = vec![TrainTask::Global];
         for (c, subset) in engine_subsets.iter().enumerate() {
             if subset.len() >= MIN_CONTEXT_TILES {
-                let mut cfg = train_cfg;
-                cfg.seed = seed.wrapping_add(c as u64 + 1);
-                context_models.push(Some(SpecializedModel::train_for_context(
-                    subset,
-                    arch,
-                    crate::context::ContextId(c),
-                    config.max_train_pixels,
-                    &cfg,
-                )));
-            } else {
-                context_models.push(None);
+                tasks.push(TrainTask::Context(c, subset));
             }
         }
-
         // Multi-context models: pair contexts with adjacent value
         // profiles and specialize across each pair.
-        let mut merged_models: Vec<SpecializedModel> = Vec::new();
         let mut order: Vec<usize> = (0..k).collect();
         order.sort_by(|&a, &b| {
             let ha = contexts.context(crate::context::ContextId(a)).high_value_fraction;
@@ -315,18 +314,51 @@ impl Transformation {
             let mut union: Vec<TileImage> = engine_subsets[a].clone();
             union.extend(engine_subsets[b].iter().cloned());
             if union.len() >= MIN_CONTEXT_TILES {
+                tasks.push(TrainTask::Merged(a, b, union));
+            }
+        }
+
+        let train_global =
+            || SpecializedModel::train_global(&train_tiles, arch, config.max_train_pixels, &train_cfg);
+        let workers = crate::par::resolve_workers(config.workers);
+        let trained_models = crate::par::par_map_indexed(workers, &tasks, |_, task| match task {
+            TrainTask::Global => train_global(),
+            TrainTask::Context(c, subset) => {
                 let mut cfg = train_cfg;
-                cfg.seed = seed.wrapping_add(1000 + a as u64 * 31 + b as u64);
-                merged_models.push(SpecializedModel::train_for_contexts(
-                    &union,
+                cfg.seed = crate::par::stream_seed(seed, *c as u64 + 1);
+                SpecializedModel::train_for_context(
+                    subset,
                     arch,
-                    vec![
-                        crate::context::ContextId(a),
-                        crate::context::ContextId(b),
-                    ],
+                    crate::context::ContextId(*c),
                     config.max_train_pixels,
                     &cfg,
-                ));
+                )
+            }
+            TrainTask::Merged(a, b, union) => {
+                let mut cfg = train_cfg;
+                cfg.seed = crate::par::stream_seed(seed, 1000 + *a as u64 * 31 + *b as u64);
+                SpecializedModel::train_for_contexts(
+                    union,
+                    arch,
+                    vec![crate::context::ContextId(*a), crate::context::ContextId(*b)],
+                    config.max_train_pixels,
+                    &cfg,
+                )
+            }
+        });
+
+        // Unpack results back into their serial-layout slots. Task 0 is
+        // always Global, so the fallback closure never actually runs; it
+        // exists to keep this path panic-free.
+        let mut trained_iter = trained_models.into_iter();
+        let global_model = trained_iter.next().unwrap_or_else(train_global);
+        let mut context_models: Vec<Option<SpecializedModel>> = (0..k).map(|_| None).collect();
+        let mut merged_models: Vec<SpecializedModel> = Vec::new();
+        for (task, model) in tasks.iter().skip(1).zip(trained_iter) {
+            match task {
+                TrainTask::Global => {}
+                TrainTask::Context(c, _) => context_models[*c] = Some(model),
+                TrainTask::Merged(..) => merged_models.push(model),
             }
         }
 

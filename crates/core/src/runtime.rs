@@ -12,6 +12,7 @@
 
 use crate::elide::Action;
 use crate::engine::EngineKind;
+use crate::par;
 use crate::selection::SelectionLogic;
 use kodan_cote::time::Duration;
 use kodan_geodata::frame::FrameImage;
@@ -61,6 +62,42 @@ impl FrameOutcome {
             self.value_px as f64 / self.sent_px as f64
         }
     }
+
+    /// Fraction of the genuinely high-value pixels that were actually
+    /// sent; `0.0` when the frame observed no high-value pixels.
+    pub fn recall(&self) -> f64 {
+        if self.observed_value_px == 0 {
+            0.0
+        } else {
+            self.value_px as f64 / self.observed_value_px as f64
+        }
+    }
+
+    /// Fraction of tiles resolved without model inference; `0.0` when no
+    /// tiles were seen (empty or untiled frame).
+    pub fn elision_fraction(&self) -> f64 {
+        let total_tiles = self.tiles_elided + self.tiles_processed;
+        if total_tiles == 0 {
+            0.0
+        } else {
+            self.tiles_elided as f64 / total_tiles as f64
+        }
+    }
+
+    /// Folds `other` into this aggregate. Callers must absorb outcomes
+    /// in frame-index order: the pixel/tile fields are order-independent
+    /// `u64`/`usize` sums, but `compute` accumulates `f64` seconds, and
+    /// a fixed fold order is what keeps parallel runs bit-identical to
+    /// serial.
+    pub fn absorb(&mut self, other: &FrameOutcome) {
+        self.compute += other.compute;
+        self.sent_px += other.sent_px;
+        self.value_px += other.value_px;
+        self.observed_px += other.observed_px;
+        self.observed_value_px += other.observed_value_px;
+        self.tiles_elided += other.tiles_elided;
+        self.tiles_processed += other.tiles_processed;
+    }
 }
 
 /// The deployed Kodan runtime for one (application, target) pair.
@@ -69,18 +106,35 @@ pub struct Runtime {
     logic: SelectionLogic,
     engine: EngineKind,
     latency: LatencyModel,
+    workers: usize,
 }
 
 impl Runtime {
     /// Assembles a runtime from a selection logic and the context engine
-    /// it was built against (learned or expert map-based).
+    /// it was built against (learned or expert map-based). Frame batches
+    /// are processed with the auto-detected worker count; use
+    /// [`Runtime::with_workers`] to pin it.
     pub fn new(logic: SelectionLogic, engine: impl Into<EngineKind>) -> Runtime {
         let latency = LatencyModel::new(logic.target());
         Runtime {
             logic,
             engine: engine.into(),
             latency,
+            workers: par::resolve_workers(0),
         }
+    }
+
+    /// Pins the worker count used by [`Runtime::process_frames`]; `0`
+    /// means auto-detect. Worker count only changes wall-clock time —
+    /// outcomes and telemetry are bit-identical for any value.
+    pub fn with_workers(mut self, workers: usize) -> Runtime {
+        self.workers = par::resolve_workers(workers);
+        self
+    }
+
+    /// The resolved worker count for frame-batch processing.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The selection logic in force.
@@ -196,12 +250,8 @@ impl Runtime {
         recorder.span(StageId::Frame, outcome.compute.as_seconds(), 1);
         recorder.observe(HistogramId::FrameComputeSeconds, outcome.compute.as_seconds());
         recorder.observe(HistogramId::FramePrecision, outcome.precision());
-        let total_tiles = outcome.tiles_elided + outcome.tiles_processed;
-        if total_tiles > 0 {
-            recorder.observe(
-                HistogramId::FrameElisionFraction,
-                outcome.tiles_elided as f64 / total_tiles as f64,
-            );
+        if outcome.tiles_elided + outcome.tiles_processed > 0 {
+            recorder.observe(HistogramId::FrameElisionFraction, outcome.elision_fraction());
         }
         outcome
     }
@@ -217,6 +267,12 @@ impl Runtime {
 
     /// [`Runtime::process_frames`] with telemetry (see
     /// [`Runtime::process_frame_recorded`]).
+    ///
+    /// Frames are fanned out across [`Runtime::workers`] threads; the
+    /// per-frame outcomes come back in frame-index order and are folded
+    /// serially, and per-worker telemetry tapes are replayed in the same
+    /// order, so the aggregate and the recorder's snapshot are
+    /// bit-identical to a serial run.
     pub fn process_frames_recorded<'a, I>(
         &self,
         frames: I,
@@ -225,25 +281,27 @@ impl Runtime {
     where
         I: IntoIterator<Item = &'a FrameImage>,
     {
+        let frames: Vec<&FrameImage> = frames.into_iter().collect();
+        let outcomes = par::par_map_recorded(self.workers, &frames, recorder, |_, frame, rec| {
+            self.process_frame_recorded(frame, rec)
+        });
         let mut total = FrameOutcome::default();
-        let mut count = 0usize;
-        for frame in frames {
-            let o = self.process_frame_recorded(frame, recorder);
-            total.compute += o.compute;
-            total.sent_px += o.sent_px;
-            total.value_px += o.value_px;
-            total.observed_px += o.observed_px;
-            total.observed_value_px += o.observed_value_px;
-            total.tiles_elided += o.tiles_elided;
-            total.tiles_processed += o.tiles_processed;
-            count += 1;
+        for o in &outcomes {
+            total.absorb(o);
         }
-        let mean = if count > 0 {
-            total.compute / count as f64
-        } else {
+        let mean = if outcomes.is_empty() {
             Duration::ZERO
+        } else {
+            total.compute / outcomes.len() as f64
         };
         (total, mean)
+    }
+
+    /// Processes frames in parallel and returns each frame's individual
+    /// outcome, in frame order (used by detailed mission replay, which
+    /// needs per-frame results rather than the aggregate).
+    pub fn frame_outcomes(&self, frames: &[FrameImage]) -> Vec<FrameOutcome> {
+        par::par_map_indexed(self.workers, frames, |_, frame| self.process_frame(frame))
     }
 }
 
@@ -416,5 +474,88 @@ mod tests {
         let (total, mean) = runtime.process_frames(std::iter::empty());
         assert_eq!(total.sent_px, 0);
         assert_eq!(mean, Duration::ZERO);
+    }
+
+    #[test]
+    fn ratio_helpers_guard_zero_denominators() {
+        let empty = FrameOutcome::default();
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.elision_fraction(), 0.0);
+        assert!(empty.recall().is_finite());
+        assert!(empty.elision_fraction().is_finite());
+        let busy = FrameOutcome {
+            sent_px: 40,
+            value_px: 30,
+            observed_value_px: 60,
+            tiles_elided: 3,
+            tiles_processed: 1,
+            ..FrameOutcome::default()
+        };
+        assert!((busy.recall() - 0.5).abs() < 1e-12);
+        assert!((busy.elision_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_matches_field_by_field_addition() {
+        let a = FrameOutcome {
+            compute: Duration::from_seconds(0.125),
+            sent_px: 10,
+            value_px: 9,
+            observed_px: 100,
+            observed_value_px: 50,
+            tiles_elided: 2,
+            tiles_processed: 3,
+        };
+        let b = FrameOutcome {
+            compute: Duration::from_seconds(0.25),
+            sent_px: 1,
+            value_px: 1,
+            observed_px: 30,
+            observed_value_px: 7,
+            tiles_elided: 1,
+            tiles_processed: 0,
+        };
+        let mut total = a;
+        total.absorb(&b);
+        assert_eq!(total.sent_px, 11);
+        assert_eq!(total.value_px, 10);
+        assert_eq!(total.observed_px, 130);
+        assert_eq!(total.observed_value_px, 57);
+        assert_eq!(total.tiles_elided, 3);
+        assert_eq!(total.tiles_processed, 3);
+        assert!((total.compute.as_seconds() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_frame_processing_matches_serial_exactly() {
+        let (runtime, frames) = runtime_and_frames();
+        let serial = runtime.clone().with_workers(1);
+        let (base_total, base_mean) = serial.process_frames(frames.iter());
+        let base_outcomes = serial.frame_outcomes(&frames);
+        for workers in [2, 3, 4] {
+            let parallel = runtime.clone().with_workers(workers);
+            assert_eq!(parallel.workers(), workers);
+            let (total, mean) = parallel.process_frames(frames.iter());
+            // Bitwise equality, not epsilon: the index-ordered fold must
+            // reproduce the serial f64 accumulation exactly.
+            assert_eq!(base_total, total, "workers={workers}");
+            assert_eq!(base_mean, mean, "workers={workers}");
+            assert_eq!(base_outcomes, parallel.frame_outcomes(&frames));
+        }
+    }
+
+    #[test]
+    fn parallel_telemetry_is_byte_identical_to_serial() {
+        let (runtime, frames) = runtime_and_frames();
+        let snapshot_json = |workers: usize| {
+            let rt = runtime.clone().with_workers(workers);
+            let mut recorder = kodan_telemetry::SummaryRecorder::new();
+            let _ = rt.process_frames_recorded(frames.iter(), &mut recorder);
+            recorder.snapshot().to_json()
+        };
+        let serial = snapshot_json(1);
+        for workers in [2, 4] {
+            assert_eq!(serial, snapshot_json(workers), "workers={workers}");
+        }
     }
 }

@@ -20,7 +20,6 @@ use kodan_ml::eval::ConfusionMatrix;
 use kodan_ml::mlp::Mlp;
 use kodan_ml::train::TrainConfig;
 use kodan_ml::zoo::ModelArch;
-use kodan_ml::PixelClassifier;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
@@ -174,11 +173,17 @@ impl SpecializedModel {
     pub fn predict_tile(&self, tile: &TileImage) -> Vec<bool> {
         let feats = tile_features(tile, self.input_resolution);
         let r = self.input_resolution;
-        let mut pred_at_r = vec![false; r * r];
-        for (i, slot) in pred_at_r.iter_mut().enumerate() {
-            let row = &feats[i * FEATURE_DIM..i * FEATURE_DIM + self.feature_budget];
-            *slot = self.classifier.predict(row);
-        }
+        // Fused batch forward pass over all r*r pixels: one scratch
+        // buffer for the whole tile instead of a per-pixel loop of
+        // classifier calls. The classifier reads the first
+        // `feature_budget` features of each FEATURE_DIM-strided row —
+        // the same slices the per-pixel path passed — and 0.5 is the
+        // [`PixelClassifier::predict`] threshold, so the mask is
+        // bit-identical.
+        let mut probs = Vec::new();
+        self.classifier
+            .predict_proba_batch_into(&feats, FEATURE_DIM, &mut probs);
+        let pred_at_r: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
         resize_mask(&pred_at_r, r, tile.size())
     }
 

@@ -185,6 +185,9 @@ fn render_parallel(
     frame_px: usize,
     frame_km: f64,
 ) -> Vec<FrameImage> {
+    // geodata sits below kodan_core in the dependency graph and cannot
+    // use par; order-keyed slots give the same guarantee.
+    // lint:allow(thread-discipline): pre-par threading, results index-keyed
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -197,6 +200,7 @@ fn render_parallel(
     }
     let mut slots: Vec<Option<FrameImage>> = vec![None; placements.len()];
     let chunk = placements.len().div_ceil(workers);
+    // lint:allow(thread-discipline): pre-par threading, results index-keyed
     crossbeam::scope(|scope| {
         for (slot_chunk, place_chunk) in
             slots.chunks_mut(chunk).zip(placements.chunks(chunk))

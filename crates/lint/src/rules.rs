@@ -79,14 +79,24 @@ pub struct ScopedRule {
     /// scope when its relative path starts with any prefix. An empty
     /// list means every scanned file.
     pub include: Vec<String>,
+    /// Path prefixes carved *out* of the scope: a file matching any of
+    /// these is never in scope, even when it matches `include`. Used for
+    /// rules whose invariant has a single sanctioned home (e.g. thread
+    /// spawning is confined to `kodan_core::par`).
+    pub exclude: Vec<String>,
 }
 
 impl ScopedRule {
     /// True when `relative_path` is covered by this rule's scope.
     pub fn applies_to(&self, relative_path: &str) -> bool {
-        self.include.is_empty()
+        let included = self.include.is_empty()
             || self
                 .include
+                .iter()
+                .any(|prefix| relative_path.starts_with(prefix.as_str()));
+        included
+            && !self
+                .exclude
                 .iter()
                 .any(|prefix| relative_path.starts_with(prefix.as_str()))
     }
@@ -147,6 +157,7 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 },
             },
             include: paths(&DETERMINISTIC_CRATES),
+            exclude: Vec::new(),
         },
         ScopedRule {
             rule: Rule {
@@ -160,6 +171,7 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 },
             },
             include: paths(&DETERMINISTIC_CRATES),
+            exclude: Vec::new(),
         },
         ScopedRule {
             rule: Rule {
@@ -179,6 +191,24 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 scope.push("crates/bench/".to_string());
                 scope
             },
+            exclude: Vec::new(),
+        },
+        ScopedRule {
+            rule: Rule {
+                id: "thread-discipline",
+                category: Category::Determinism,
+                description: "thread spawning outside kodan_core::par; route parallelism \
+                              through par::par_map_indexed/par_map_recorded so outputs \
+                              stay interleaving-independent",
+                exempt_test_code: true,
+                kind: RuleKind::Pattern {
+                    needles: &["std::thread", "thread::spawn", "thread::scope", "crossbeam"],
+                },
+            },
+            include: paths(&DETERMINISTIC_CRATES),
+            // The deterministic data-parallel layer is the one sanctioned
+            // home for threads; everything else must go through it.
+            exclude: vec!["crates/core/src/par.rs".to_string()],
         },
         // ---- panic safety ----------------------------------------------
         ScopedRule {
@@ -192,6 +222,7 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 },
             },
             include: paths(&RUNTIME_PATH_FILES),
+            exclude: Vec::new(),
         },
         ScopedRule {
             rule: Rule {
@@ -204,6 +235,7 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 },
             },
             include: paths(&RUNTIME_PATH_FILES),
+            exclude: Vec::new(),
         },
         ScopedRule {
             rule: Rule {
@@ -217,6 +249,7 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 },
             },
             include: paths(&RUNTIME_PATH_FILES),
+            exclude: Vec::new(),
         },
         ScopedRule {
             rule: Rule {
@@ -230,6 +263,7 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 },
             },
             include: paths(&RUNTIME_PATH_FILES),
+            exclude: Vec::new(),
         },
         // ---- hygiene ----------------------------------------------------
         ScopedRule {
@@ -243,6 +277,7 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 },
             },
             include: paths(&LIBRARY_CRATE_ROOTS),
+            exclude: Vec::new(),
         },
         ScopedRule {
             rule: Rule {
@@ -255,6 +290,7 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 },
             },
             include: paths(&LIBRARY_CRATE_ROOTS),
+            exclude: Vec::new(),
         },
         ScopedRule {
             rule: Rule {
@@ -268,6 +304,7 @@ pub fn default_rules() -> Vec<ScopedRule> {
                 },
             },
             include: paths(&DETERMINISTIC_CRATES),
+            exclude: Vec::new(),
         },
     ]
 }
@@ -297,6 +334,7 @@ mod tests {
         let rule = ScopedRule {
             rule: default_rules()[0].rule,
             include: vec!["crates/core/src/".to_string()],
+            exclude: Vec::new(),
         };
         assert!(rule.applies_to("crates/core/src/runtime.rs"));
         assert!(!rule.applies_to("crates/cli/src/main.rs"));
@@ -307,8 +345,42 @@ mod tests {
         let rule = ScopedRule {
             rule: default_rules()[0].rule,
             include: Vec::new(),
+            exclude: Vec::new(),
         };
         assert!(rule.applies_to("anything/at/all.rs"));
+    }
+
+    #[test]
+    fn exclusions_carve_out_of_the_scope() {
+        let rule = ScopedRule {
+            rule: default_rules()[0].rule,
+            include: vec!["crates/core/src/".to_string()],
+            exclude: vec!["crates/core/src/par.rs".to_string()],
+        };
+        assert!(rule.applies_to("crates/core/src/runtime.rs"));
+        assert!(!rule.applies_to("crates/core/src/par.rs"));
+        // An exclusion also trims an otherwise-universal scope.
+        let universal = ScopedRule {
+            rule: default_rules()[0].rule,
+            include: Vec::new(),
+            exclude: vec!["shims/".to_string()],
+        };
+        assert!(universal.applies_to("crates/ml/src/matrix.rs"));
+        assert!(!universal.applies_to("shims/crossbeam/src/lib.rs"));
+    }
+
+    #[test]
+    fn thread_discipline_scope_excludes_only_par() {
+        let rules = default_rules();
+        let td = rules
+            .iter()
+            .find(|r| r.rule.id == "thread-discipline")
+            .expect("thread-discipline rule exists");
+        assert_eq!(td.rule.category, Category::Determinism);
+        assert!(td.applies_to("crates/geodata/src/dataset.rs"));
+        assert!(td.applies_to("crates/core/src/runtime.rs"));
+        assert!(!td.applies_to("crates/core/src/par.rs"));
+        assert!(!td.applies_to("crates/cli/src/main.rs"));
     }
 
     #[test]

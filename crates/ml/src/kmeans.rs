@@ -59,18 +59,25 @@ impl KMeans {
         let mut centroids = plus_plus_init(points, k, metric, &mut rng);
         let mut assignments = vec![0usize; points.len()];
 
+        let mut assigned_d = vec![0.0f64; points.len()];
+
         for _ in 0..MAX_ITERATIONS {
-            // Assignment step.
+            // Assignment step: one distance pass per point per iteration;
+            // each point's distance to its chosen centroid is cached for
+            // the empty-cluster re-seed below instead of being recomputed.
             let mut changed = false;
             for (i, p) in points.iter().enumerate() {
-                let nearest = nearest_centroid(p, &centroids, metric);
+                let (nearest, d) = nearest_centroid_with_distance(p, &centroids, metric);
+                assigned_d[i] = d;
                 if assignments[i] != nearest {
                     assignments[i] = nearest;
                     changed = true;
                 }
             }
             // Update step: mean of members; empty clusters re-seed to the
-            // point farthest from its centroid.
+            // point that was farthest from its centroid at assignment
+            // time (the cached distances, so ranking is against a
+            // consistent set of centroids rather than a half-updated mix).
             let mut sums = vec![vec![0.0; dim]; k];
             let mut counts = vec![0usize; k];
             for (p, &a) in points.iter().zip(&assignments) {
@@ -81,15 +88,9 @@ impl KMeans {
             }
             for c in 0..k {
                 if counts[c] == 0 {
-                    let (far_idx, _) = points
-                        .iter()
-                        .enumerate()
-                        .max_by(|(i, p), (j, q)| {
-                            let di = metric.distance(p, &centroids[assignments[*i]]);
-                            let dj = metric.distance(q, &centroids[assignments[*j]]);
-                            di.partial_cmp(&dj).expect("finite distances")
-                        })
-                        .expect("points is non-empty");
+                    let far_idx = (0..points.len())
+                        .max_by(|&i, &j| assigned_d[i].total_cmp(&assigned_d[j]))
+                        .unwrap_or(0);
                     centroids[c] = points[far_idx].clone();
                     changed = true;
                 } else {
@@ -205,6 +206,14 @@ fn plus_plus_init(
 }
 
 fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>], metric: DistanceMetric) -> usize {
+    nearest_centroid_with_distance(point, centroids, metric).0
+}
+
+fn nearest_centroid_with_distance(
+    point: &[f64],
+    centroids: &[Vec<f64>],
+    metric: DistanceMetric,
+) -> (usize, f64) {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
     for (i, c) in centroids.iter().enumerate() {
@@ -214,7 +223,7 @@ fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>], metric: DistanceMetri
             best = i;
         }
     }
-    best
+    (best, best_d)
 }
 
 /// Mean silhouette score of a clustering in `[-1, 1]`; higher is better.

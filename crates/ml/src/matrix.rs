@@ -102,16 +102,75 @@ impl Matrix {
         &self.data
     }
 
+    /// The underlying flat buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Matrix-vector product.
     ///
     /// # Panics
     ///
     /// Panics if `v.len() != cols`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// Allocation-free matrix-vector product into a caller-provided
+    /// buffer; the hot-loop form of [`Matrix::matvec`] (bit-identical
+    /// results — same per-row accumulation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
-        self.iter_rows()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        assert_eq!(out.len(), self.rows, "output length mismatch");
+        for (slot, row) in out.iter_mut().zip(self.iter_rows()) {
+            *slot = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Matrix-matrix product, cache-blocked.
+    ///
+    /// The right operand is transposed once up front so every dot product
+    /// walks two contiguous slices, and the output is computed in
+    /// `MATMUL_BLOCK`-square tiles so the touched rows of both operands
+    /// stay cache-resident. Each output element still accumulates its
+    /// full `k` dot product in index order, so the result is
+    /// bit-identical to the textbook triple loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        const MATMUL_BLOCK: usize = 32;
+        let bt = other.transpose();
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i0 in (0..self.rows).step_by(MATMUL_BLOCK) {
+            let i1 = (i0 + MATMUL_BLOCK).min(self.rows);
+            for j0 in (0..other.cols).step_by(MATMUL_BLOCK) {
+                let j1 = (j0 + MATMUL_BLOCK).min(other.cols);
+                for i in i0..i1 {
+                    let lhs_row = self.row(i);
+                    for j in j0..j1 {
+                        out.data[i * other.cols + j] = lhs_row
+                            .iter()
+                            .zip(bt.row(j))
+                            .map(|(a, b)| a * b)
+                            .sum();
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Transpose.
@@ -257,6 +316,70 @@ mod tests {
         assert!((cov[(0, 2)] + cov[(0, 0)]).abs() < 1e-9);
         // Symmetric.
         assert_eq!(cov[(0, 1)], cov[(1, 0)]);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_bitwise() {
+        let m = Matrix::from_rows(&[
+            vec![0.1, -0.2, 0.3],
+            vec![1.5, 2.5, -3.5],
+            vec![1e-9, 1e9, 1.0],
+        ]);
+        let v = [0.7, -0.11, 0.013];
+        let mut out = vec![0.0; 3];
+        m.matvec_into(&v, &mut out);
+        assert_eq!(out, m.matvec(&v));
+    }
+
+    /// The textbook triple loop the blocked kernel must match bitwise.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                out[(i, j)] = (0..a.cols()).map(|k| a[(i, k)] * b[(k, j)]).sum();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise() {
+        // Dimensions straddle the 32-wide block boundary on every axis.
+        let mk = |rows: usize, cols: usize, salt: f64| {
+            let data: Vec<f64> = (0..rows * cols)
+                .map(|i| ((i as f64) * 0.37 + salt).sin())
+                .collect();
+            Matrix::from_flat(rows, cols, data)
+        };
+        for (r, k, c) in [(3, 4, 5), (32, 32, 32), (33, 31, 50), (70, 5, 33)] {
+            let a = mk(r, k, 0.1);
+            let b = mk(k, c, 2.7);
+            assert_eq!(a.matmul(&b), naive_matmul(&a, &b), "{r}x{k}x{c}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_identity() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let mut eye = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            eye[(i, i)] = 1.0;
+        }
+        assert_eq!(m.matmul(&eye), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn rejects_bad_matmul_shapes() {
+        let _ = Matrix::zeros(2, 3).matmul(&Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn mutable_slice_roundtrips() {
+        let mut m = Matrix::zeros(2, 2);
+        m.as_mut_slice()[3] = 9.0;
+        assert_eq!(m[(1, 1)], 9.0);
+        assert_eq!(m.as_slice()[3], 9.0);
     }
 
     #[test]

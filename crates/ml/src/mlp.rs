@@ -5,6 +5,7 @@
 //! stand in for deeper backbones. Training is plain mini-batch SGD with
 //! momentum; ReLU hidden units; sigmoid output.
 
+use crate::matrix::Matrix;
 use crate::optimizer::Optimizer;
 use crate::train::{bce_loss, sigmoid, TrainConfig};
 use crate::PixelClassifier;
@@ -37,8 +38,9 @@ use serde::{Deserialize, Serialize};
 pub struct Mlp {
     input_dim: usize,
     hidden: usize,
-    /// Hidden weights, `hidden x input_dim` row-major.
-    w1: Vec<f64>,
+    /// Hidden weights, `hidden x input_dim`; a [`Matrix`] so the forward
+    /// pass reuses the shared allocation-free matvec kernel.
+    w1: Matrix,
     b1: Vec<f64>,
     /// Output weights, `hidden` long.
     w2: Vec<f64>,
@@ -165,10 +167,49 @@ impl Mlp {
         Mlp {
             input_dim: dim,
             hidden,
-            w1,
+            w1: Matrix::from_flat(hidden, dim, w1),
             b1,
             w2,
             b2: b2_group[0],
+        }
+    }
+
+    /// Fused batch forward pass: classifies every `row_stride`-strided
+    /// feature row of `x` (only the first `input_dim` features of each
+    /// row are read) and fills `out` with the probabilities, reusing one
+    /// hidden-activation scratch buffer across the whole batch instead
+    /// of allocating per prediction. Results are bit-identical to
+    /// calling [`PixelClassifier::predict_proba`] row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_stride < input_dim` or `x.len()` is not a multiple
+    /// of `row_stride`.
+    pub fn predict_proba_batch_into(&self, x: &[f64], row_stride: usize, out: &mut Vec<f64>) {
+        assert!(
+            row_stride >= self.input_dim,
+            "row stride {} below input dim {}",
+            row_stride,
+            self.input_dim
+        );
+        assert_eq!(x.len() % row_stride, 0, "buffer not a multiple of stride");
+        let n = x.len() / row_stride;
+        out.clear();
+        out.reserve(n);
+        let mut act = vec![0.0f64; self.hidden];
+        for i in 0..n {
+            let row = &x[i * row_stride..i * row_stride + self.input_dim];
+            self.w1.matvec_into(row, &mut act);
+            let mut z_out = self.b2;
+            for h in 0..self.hidden {
+                // b1[h] + dot keeps the operand order of the per-row
+                // path, so z (and the probability) match bitwise.
+                let z = self.b1[h] + act[h];
+                if z > 0.0 {
+                    z_out += self.w2[h] * z;
+                }
+            }
+            out.push(sigmoid(z_out));
         }
     }
 
@@ -190,7 +231,9 @@ impl PixelClassifier for Mlp {
         let mut z_out = self.b2;
         for h in 0..self.hidden {
             let z = self.b1[h]
-                + self.w1[h * self.input_dim..(h + 1) * self.input_dim]
+                + self
+                    .w1
+                    .row(h)
                     .iter()
                     .zip(features)
                     .map(|(w, v)| w * v)
@@ -289,5 +332,49 @@ mod tests {
     #[should_panic(expected = "hidden units")]
     fn rejects_zero_hidden() {
         let _ = Mlp::fit(&[vec![1.0]], &[true], 0, &TrainConfig::fast(0));
+    }
+
+    #[test]
+    fn batch_forward_matches_per_row_bitwise() {
+        let (xs, ys) = circle_data(120);
+        let model = Mlp::fit(&xs, &ys, 8, &TrainConfig::fast(5));
+        // Exact stride: rows laid out back to back.
+        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+        let mut batch = Vec::new();
+        model.predict_proba_batch_into(&flat, 2, &mut batch);
+        assert_eq!(batch.len(), xs.len());
+        for (x, p) in xs.iter().zip(&batch) {
+            assert_eq!(model.predict_proba(x), *p, "bitwise mismatch at {x:?}");
+        }
+        // Wider stride: only the first input_dim features of each row are
+        // read, as when a feature budget trims a fixed-width buffer.
+        let padded: Vec<f64> = xs
+            .iter()
+            .flat_map(|x| [x[0], x[1], 99.0, -99.0])
+            .collect();
+        let mut strided = Vec::new();
+        model.predict_proba_batch_into(&padded, 4, &mut strided);
+        assert_eq!(batch, strided);
+        // The output buffer is reused, not appended to.
+        model.predict_proba_batch_into(&flat, 2, &mut strided);
+        assert_eq!(batch, strided);
+    }
+
+    #[test]
+    fn batch_forward_handles_empty_input() {
+        let (xs, ys) = circle_data(40);
+        let model = Mlp::fit(&xs, &ys, 4, &TrainConfig::fast(5));
+        let mut out = vec![0.5; 3];
+        model.predict_proba_batch_into(&[], 2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row stride")]
+    fn batch_forward_rejects_narrow_stride() {
+        let (xs, ys) = circle_data(40);
+        let model = Mlp::fit(&xs, &ys, 4, &TrainConfig::fast(5));
+        let mut out = Vec::new();
+        model.predict_proba_batch_into(&[1.0], 1, &mut out);
     }
 }

@@ -42,7 +42,9 @@ pub mod event;
 pub mod json;
 pub mod recorder;
 pub mod snapshot;
+pub mod tape;
 
 pub use event::{ActionKind, CounterId, HistogramId, StageId, TelemetryEvent};
 pub use recorder::{NullRecorder, Recorder, SummaryRecorder};
 pub use snapshot::{HistogramSnapshot, SpanTotal, TelemetrySnapshot};
+pub use tape::{TapeEntry, TapeRecorder};

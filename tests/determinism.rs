@@ -110,6 +110,117 @@ fn telemetry_snapshots_are_byte_identical() {
 }
 
 #[test]
+fn parallel_missions_match_serial_bitwise() {
+    // The data-parallel frame path must be a pure wall-clock optimization:
+    // every MissionReport field — f64 aggregates included — must be
+    // bit-identical whether one worker or many processed the frames.
+    let dataset = small_dataset(1);
+    let artifacts = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = World::new(42);
+    let params = MissionParams {
+        sample_frames: 8,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 1.0,
+    };
+    let run = |workers: usize| {
+        let logic = artifacts.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let runtime = Runtime::new(logic, artifacts.engine.clone()).with_workers(workers);
+        Mission::new(&env, &world, params).run_with_runtime(&runtime, SystemKind::Kodan)
+    };
+    let serial = run(1);
+    for workers in [2, 4] {
+        assert_eq!(serial, run(workers), "{workers}-worker mission diverged");
+    }
+}
+
+#[test]
+fn parallel_telemetry_snapshots_match_serial_byte_for_byte() {
+    // Per-worker tape recorders replayed in frame-index order must
+    // reproduce the serial telemetry stream exactly: same counters, same
+    // span aggregates, same JSON bytes.
+    let dataset = small_dataset(1);
+    let artifacts = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = World::new(42);
+    let params = MissionParams {
+        sample_frames: 6,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 1.0,
+    };
+    let run = |workers: usize| {
+        let mut recorder = SummaryRecorder::new();
+        let logic = artifacts.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let runtime = Runtime::new(logic, artifacts.engine.clone()).with_workers(workers);
+        Mission::new(&env, &world, params).run_with_runtime_recorded(
+            &runtime,
+            SystemKind::Kodan,
+            &mut recorder,
+        );
+        recorder.snapshot().to_json()
+    };
+    let serial = run(1);
+    assert!(!serial.is_empty());
+    for workers in [2, 4] {
+        assert_eq!(
+            serial.as_bytes(),
+            run(workers).as_bytes(),
+            "{workers}-worker telemetry diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn parallel_training_matches_serial_artifacts_and_selection() {
+    // Specialized-model training fans out across workers with per-context
+    // seed streams keyed on context identity, so the trained weights —
+    // and everything selected from them — must not depend on the worker
+    // count. Only the recorded `workers` knob itself may differ.
+    let dataset = small_dataset(1);
+    let run = |workers: usize| {
+        let mut config = KodanConfig::fast(9);
+        config.workers = workers;
+        Transformation::new(config)
+            .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+            .expect("transformation succeeds")
+    };
+    let serial = run(1);
+    let env = SpaceEnvironment::fixed(0.21);
+    let serial_logic = serial.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    for workers in [2, 4] {
+        let mut parallel = run(workers);
+        let logic = parallel.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        assert_eq!(serial_logic, logic, "{workers}-worker selection diverged");
+        // The config records the requested worker count; normalize that
+        // one knob and everything else must be bit-identical.
+        parallel.config.workers = serial.config.workers;
+        assert_eq!(serial, parallel, "{workers}-worker artifacts diverged");
+    }
+}
+
+#[test]
 fn selection_is_reproducible_across_rederivations() {
     let dataset = small_dataset(1);
     let artifacts = Transformation::new(KodanConfig::fast(9))

@@ -93,6 +93,51 @@ fn gate_covers_the_telemetry_crate() {
 }
 
 #[test]
+fn gate_enforces_thread_discipline() {
+    // All parallelism in the deterministic crates must route through
+    // kodan_core::par, whose index-keyed merge keeps outputs independent
+    // of thread interleaving. Seed a raw crossbeam scope into a fake
+    // runtime file and confirm the gate fires — and that par.rs itself is
+    // carved out of the rule's scope.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_gate_thread_fixture");
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+    let src = "pub fn f(xs: &[u8]) -> Vec<u8> {\n    \
+               crossbeam::scope(|s| { s.spawn(|_| ()); }).ok();\n    \
+               xs.to_vec()\n}\n";
+    std::fs::write(src_dir.join("engine.rs"), src).expect("write fixture");
+
+    let rules = default_rules();
+    let report = check(&dir, &rules).expect("fixture scan succeeds");
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.exit_code(), 1, "determinism bit must fire");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule_id == "thread-discipline"),
+        "expected a thread-discipline diagnostic, got: {:?}",
+        report.diagnostics
+    );
+
+    // The same source inside par.rs is the sanctioned implementation site.
+    assert!(
+        scan_source("crates/core/src/par.rs", src, &rules).is_empty(),
+        "par.rs must be excluded from thread-discipline"
+    );
+    // And the escape hatch works where threading predates par.
+    let allowed = "pub fn f() {\n    \
+                   // lint:allow(thread-discipline): pre-par threading\n    \
+                   crossbeam::scope(|s| { let _ = s; }).ok();\n}\n";
+    assert!(
+        scan_source("crates/core/src/engine.rs", allowed, &rules).is_empty(),
+        "lint:allow must suppress thread-discipline"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn suppressions_survive_the_real_pipeline() {
     // The escape hatch documented in DESIGN.md must keep working: the
     // gate's usefulness depends on allows being honoured verbatim.
