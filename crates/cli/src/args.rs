@@ -26,6 +26,11 @@ pub struct Options {
     pub telemetry: Option<String>,
     /// Worker threads for frame processing and training (0 = auto).
     pub workers: usize,
+    /// Path to a `key = value` fault-plan file (see `kodan-faults`).
+    pub faults: Option<String>,
+    /// Seed for the built-in nominal fault plan (ignored when `--faults`
+    /// supplies a file).
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for Options {
@@ -40,6 +45,8 @@ impl Default for Options {
             sats: 1,
             telemetry: None,
             workers: 0,
+            faults: None,
+            fault_seed: None,
         }
     }
 }
@@ -73,6 +80,8 @@ impl Options {
                 "--sats" => options.sats = next_value(&mut iter, flag)?,
                 "--telemetry" => options.telemetry = Some(next_value(&mut iter, flag)?),
                 "--workers" => options.workers = next_value(&mut iter, flag)?,
+                "--faults" => options.faults = Some(next_value(&mut iter, flag)?),
+                "--fault-seed" => options.fault_seed = Some(next_value(&mut iter, flag)?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -120,7 +129,7 @@ mod tests {
         let o = parse(&[
             "--app", "7", "--target", "gpu", "--seed", "9", "--frames", "16",
             "--contexts", "4", "--expert", "--sats", "8", "--telemetry", "out.json",
-            "--workers", "4",
+            "--workers", "4", "--faults", "plan.txt", "--fault-seed", "13",
         ])
         .unwrap();
         assert_eq!(o.app, ModelArch::ResNet101DilatedPpm);
@@ -132,6 +141,18 @@ mod tests {
         assert_eq!(o.sats, 8);
         assert_eq!(o.telemetry.as_deref(), Some("out.json"));
         assert_eq!(o.workers, 4);
+        assert_eq!(o.faults.as_deref(), Some("plan.txt"));
+        assert_eq!(o.fault_seed, Some(13));
+    }
+
+    #[test]
+    fn fault_flags_default_off_and_validate() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.faults, None);
+        assert_eq!(o.fault_seed, None);
+        assert!(parse(&["--faults"]).is_err());
+        assert!(parse(&["--fault-seed", "banana"]).is_err());
+        assert_eq!(parse(&["--fault-seed", "7"]).unwrap().fault_seed, Some(7));
     }
 
     #[test]

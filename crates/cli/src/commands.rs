@@ -8,8 +8,11 @@ use kodan::pipeline::{Transformation, TransformationArtifacts};
 use kodan::runtime::Runtime;
 use kodan::selection::SelectionLogic;
 use kodan::KodanConfig;
+use kodan_faults::{FaultConfig, FaultPlan};
 use kodan_geodata::{Dataset, DatasetConfig, World};
-use kodan_telemetry::{NullRecorder, Recorder, StageId, SummaryRecorder, TelemetrySnapshot};
+use kodan_telemetry::{
+    CounterId, NullRecorder, Recorder, StageId, SummaryRecorder, TelemetrySnapshot,
+};
 
 /// Usage text shown by `kodan help` and on argument errors.
 pub const USAGE: &str = "\
@@ -37,7 +40,11 @@ FLAGS:
   --sats N       constellation size for the environment     [1]
   --telemetry P  write a telemetry snapshot (JSON) to path P
   --workers N    worker threads (0 = auto; outputs are
-                 identical for any worker count)          [0]";
+                 identical for any worker count)          [0]
+  --faults P     inject faults from `key = value` plan file P
+                 (mission only; see kodan-faults)
+  --fault-seed N inject the built-in nominal fault plan with
+                 seed N (ignored when --faults is given)";
 
 fn build_dataset(options: &Options) -> (World, Dataset) {
     let world = World::new(options.seed);
@@ -99,6 +106,22 @@ fn print_stage_table(snapshot: &TelemetrySnapshot) {
             span.modeled_seconds, span.items, span.calls
         );
     }
+}
+
+/// Builds the fault plan selected by `--faults` / `--fault-seed`, or
+/// `None` when neither flag was given.
+fn build_fault_plan(options: &Options) -> Result<Option<FaultPlan>, String> {
+    let config = if let Some(path) = &options.faults {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("failed to read fault plan {path}: {e}"))?;
+        Some(FaultConfig::parse(&text).map_err(|e| format!("bad fault plan {path}: {e}"))?)
+    } else {
+        options.fault_seed.map(FaultConfig::nominal)
+    };
+    config
+        .map(FaultPlan::new)
+        .transpose()
+        .map_err(|e| format!("invalid fault config: {e}"))
 }
 
 /// Writes the snapshot to `--telemetry PATH` when the flag was given.
@@ -251,11 +274,21 @@ pub fn mission(options: &Options) -> Result<(), String> {
         env.frame_deadline,
         env.capacity_fraction,
     );
-    let kodan = mission.run_with_runtime_recorded(
-        &Runtime::new(kodan_logic, artifacts.engine.clone()).with_workers(options.workers),
-        SystemKind::Kodan,
-        &mut recorder,
-    );
+    let fault_plan = build_fault_plan(options)?;
+    let mut kodan_runtime =
+        Runtime::new(kodan_logic, artifacts.engine.clone()).with_workers(options.workers);
+    if let Some(plan) = &fault_plan {
+        // Degradation fallback: the selected grid's global model — the
+        // one model guaranteed to cover every context.
+        let grid = kodan_runtime.logic().grid();
+        let fallback = artifacts
+            .grid_artifacts(grid)
+            .map_err(|e| e.to_string())?
+            .global_model
+            .clone();
+        kodan_runtime = kodan_runtime.with_fault_plan(plan.clone(), fallback);
+    }
+    let kodan = mission.run_with_runtime_recorded(&kodan_runtime, SystemKind::Kodan, &mut recorder);
 
     println!(
         "day-scale mission: {} on {} ({} satellites)",
@@ -282,6 +315,18 @@ pub fn mission(options: &Options) -> Result<(), String> {
         snapshot.frames, snapshot.events
     );
     print_stage_table(&snapshot);
+    if let Some(plan) = &fault_plan {
+        println!("fault injection (seed {}):", plan.config().seed);
+        for counter in [
+            CounterId::FaultSeuInjected,
+            CounterId::FaultSlowdownFrames,
+            CounterId::FaultClassifyRetries,
+            CounterId::FaultClassifyExhausted,
+            CounterId::ModelFallbacks,
+        ] {
+            println!("  {:<26} {}", counter.name(), snapshot.counter(counter));
+        }
+    }
     write_telemetry(options, &snapshot)?;
     Ok(())
 }

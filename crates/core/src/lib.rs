@@ -91,6 +91,11 @@ pub enum KodanError {
     /// not expert-generated (auto-clustered contexts carry no surface
     /// map to look tiles up in).
     NotExpertGenerated,
+    /// A downlink-queue entry had a negative, non-finite or inconsistent
+    /// size (value exceeding size). Such entries come from corrupted
+    /// accounting — the mission drops the entry and continues rather
+    /// than aborting on orbit.
+    InvalidQueueEntry,
 }
 
 impl fmt::Display for KodanError {
@@ -102,6 +107,9 @@ impl fmt::Display for KodanError {
             KodanError::NoGrids => write!(f, "configuration lists no tile grids"),
             KodanError::NotExpertGenerated => {
                 write!(f, "expert map engine requires expert-generated contexts")
+            }
+            KodanError::InvalidQueueEntry => {
+                write!(f, "queue entry has a negative, non-finite or inconsistent size")
             }
         }
     }

@@ -21,8 +21,11 @@ use kodan_cote::orbit::Orbit;
 use kodan_cote::sensor::{capture_schedule, Imager};
 use kodan_cote::sim::{simulate_space_segment, ServedPass};
 use kodan_cote::time::Duration;
+use kodan_faults::{ContactFault, ContactOutcome, FaultPlan};
 use kodan_geodata::frame::{FrameImage, World};
-use kodan_telemetry::{NullRecorder, Recorder, StageId};
+use kodan_telemetry::{
+    CounterId, FaultKind, NullRecorder, Recorder, RecoveryKind, StageId, TelemetryEvent,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -302,6 +305,13 @@ pub struct DetailedMissionReport {
     pub residual_px: f64,
     /// Data value density of what was transmitted.
     pub transmitted_density: f64,
+    /// Pixels shed from the queue to absorb contact capacity lost to
+    /// injected faults (zero without a fault plan).
+    pub shed_px: f64,
+    /// Ground contacts dropped entirely by injected faults.
+    pub contacts_dropped: u64,
+    /// Ground contacts shortened by injected faults.
+    pub contacts_shortened: u64,
 }
 
 impl<'a> Mission<'a> {
@@ -324,6 +334,37 @@ impl<'a> Mission<'a> {
         storage_px: f64,
         bits_per_px: f64,
     ) -> DetailedMissionReport {
+        self.run_detailed_faulted(runtime, passes, storage_px, bits_per_px, None, &mut NullRecorder)
+    }
+
+    /// [`Mission::run_detailed`] under a contact-level fault plan, with
+    /// telemetry.
+    ///
+    /// Contacts are identified by their index in the time-sorted
+    /// own-satellite pass list, so the fault hitting a given pass is a
+    /// pure function of `(plan seed, contact index)`. A dropped contact
+    /// drains nothing; a shortened or rain-faded contact drains with its
+    /// reduced capacity. Either way the queue *sheds* its lowest-density
+    /// entries by the lost capacity — giving up data the shrunken
+    /// downlink could never carry preserves storage headroom for
+    /// higher-value captures still to come.
+    ///
+    /// Frame-level faults (upsets, throttling, classify failures) are not
+    /// decided here: arm them on the runtime itself with
+    /// [`Runtime::with_fault_plan`], keyed by sampled-frame index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `storage_px` or `bits_per_px` is not positive.
+    pub fn run_detailed_faulted(
+        &self,
+        runtime: &Runtime,
+        passes: &[ServedPass],
+        storage_px: f64,
+        bits_per_px: f64,
+        faults: Option<&FaultPlan>,
+        recorder: &mut dyn Recorder,
+    ) -> DetailedMissionReport {
         assert!(storage_px > 0.0, "storage must be positive");
         assert!(bits_per_px > 0.0, "pixels must have bits");
         let frames = self.sample_frames();
@@ -342,24 +383,94 @@ impl<'a> Mission<'a> {
         // drains at each pass start (own satellite only).
         let deadline_s = self.env.frame_deadline.as_seconds();
         let mut queue = DownlinkQueue::new(storage_px);
-        let mut own_passes: Vec<&ServedPass> =
-            passes.iter().filter(|p| p.satellite == 0).collect();
-        own_passes.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
-        let mut pass_iter = own_passes.iter().peekable();
+        let mut own_passes: Vec<ServedPass> =
+            passes.iter().filter(|p| p.satellite == 0).cloned().collect();
+        own_passes.sort_by(|a, b| {
+            a.start
+                .seconds_since_start()
+                .total_cmp(&b.start.seconds_since_start())
+        });
+        let contacts: Vec<ContactOutcome> = match faults {
+            Some(plan) => plan.degrade_passes(&own_passes),
+            None => own_passes
+                .iter()
+                .map(|p| ContactOutcome {
+                    pass: Some(p.clone()),
+                    fault: ContactFault::none(),
+                    lost_bits: 0.0,
+                })
+                .collect(),
+        };
 
         let mut sent_px = 0.0;
         let mut sent_value_px = 0.0;
+        let mut shed_px = 0.0;
+        let mut contacts_dropped = 0u64;
+        let mut contacts_shortened = 0u64;
+        let mut serve = |contact: &ContactOutcome,
+                         queue: &mut DownlinkQueue,
+                         sent_px: &mut f64,
+                         sent_value_px: &mut f64,
+                         shed_px: &mut f64,
+                         recorder: &mut dyn Recorder| {
+            if let Some(p) = &contact.pass {
+                let budget_px = p.bits() / bits_per_px;
+                let r = queue.drain(budget_px);
+                *sent_px += r.sent_bits;
+                *sent_value_px += r.sent_value_bits;
+            }
+            let fault = contact.fault;
+            if fault.dropped {
+                contacts_dropped += 1;
+                recorder.count(CounterId::FaultContactsDropped, 1);
+                recorder.event(TelemetryEvent::FaultInjected {
+                    kind: FaultKind::ContactDrop,
+                });
+            } else {
+                if fault.keep_fraction < 1.0 {
+                    contacts_shortened += 1;
+                    recorder.count(CounterId::FaultContactsShortened, 1);
+                    recorder.event(TelemetryEvent::FaultInjected {
+                        kind: FaultKind::ContactShorten,
+                    });
+                }
+                if fault.fade_db > 0.0 {
+                    recorder.event(TelemetryEvent::FaultInjected {
+                        kind: FaultKind::RainFade,
+                    });
+                }
+            }
+            if contact.lost_bits > 0.0 {
+                let shed = queue.shed_lowest(contact.lost_bits / bits_per_px);
+                if shed.entries_shed > 0 {
+                    *shed_px += shed.shed_bits;
+                    recorder.count(CounterId::QueueEntriesShed, shed.entries_shed as u64);
+                    recorder.event(TelemetryEvent::FaultRecovered {
+                        kind: RecoveryKind::QueueShed,
+                    });
+                }
+            }
+        };
+
+        let mut next_contact = 0usize;
         let frame_count = self.env.frames_per_day;
         for i in 0..frame_count {
             let t = i as f64 * deadline_s;
-            // Drain any passes that started before this capture.
-            while let Some(p) = pass_iter.peek() {
-                if p.start.seconds_since_start() <= t {
-                    let budget_px = p.bits() / bits_per_px;
-                    let r = queue.drain(budget_px);
-                    sent_px += r.sent_bits;
-                    sent_value_px += r.sent_value_bits;
-                    pass_iter.next();
+            // Serve any contacts that started before this capture.
+            while let Some(contact) = contacts.get(next_contact) {
+                let starts = own_passes
+                    .get(next_contact)
+                    .map_or(f64::INFINITY, |p| p.start.seconds_since_start());
+                if starts <= t {
+                    serve(
+                        contact,
+                        &mut queue,
+                        &mut sent_px,
+                        &mut sent_value_px,
+                        &mut shed_px,
+                        recorder,
+                    );
+                    next_contact += 1;
                 } else {
                     break;
                 }
@@ -372,17 +483,28 @@ impl<'a> Mission<'a> {
             if processed_after > processed_before {
                 let o = &outcomes[(i as usize) % outcomes.len()];
                 if o.sent_px > 0 {
-                    queue.push(QueueEntry::new(o.sent_px as f64, o.value_px as f64));
+                    // A corrupt outcome (injected or numeric) must not
+                    // take the mission down: drop the entry, count it,
+                    // and keep flying.
+                    match QueueEntry::new(o.sent_px as f64, o.value_px as f64) {
+                        Ok(entry) => queue.push(entry),
+                        Err(_) => recorder.count(CounterId::QueueEntriesRejected, 1),
+                    }
                 }
             }
         }
-        // Remaining passes after the last capture.
-        for p in pass_iter {
-            let budget_px = p.bits() / bits_per_px;
-            let r = queue.drain(budget_px);
-            sent_px += r.sent_bits;
-            sent_value_px += r.sent_value_bits;
+        // Remaining contacts after the last capture.
+        for contact in contacts.iter().skip(next_contact) {
+            serve(
+                contact,
+                &mut queue,
+                &mut sent_px,
+                &mut sent_value_px,
+                &mut shed_px,
+                recorder,
+            );
         }
+        drop(serve);
 
         DetailedMissionReport {
             sent_px,
@@ -394,6 +516,9 @@ impl<'a> Mission<'a> {
             } else {
                 0.0
             },
+            shed_px,
+            contacts_dropped,
+            contacts_shortened,
         }
     }
 }

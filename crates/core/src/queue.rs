@@ -11,6 +11,7 @@
 //! reaches the ground (the fine-grained counterpart of the aggregate
 //! capacity model in [`crate::mission`]).
 
+use crate::KodanError;
 use kodan_cote::sim::ServedPass;
 use serde::{Deserialize, Serialize};
 
@@ -26,13 +27,16 @@ pub struct QueueEntry {
 impl QueueEntry {
     /// Creates an entry.
     ///
-    /// # Panics
-    ///
-    /// Panics if sizes are negative or value exceeds size.
-    pub fn new(bits: f64, value_bits: f64) -> QueueEntry {
-        assert!(bits >= 0.0 && value_bits >= 0.0, "sizes must be non-negative");
-        assert!(value_bits <= bits + 1e-9, "value cannot exceed size");
-        QueueEntry { bits, value_bits }
+    /// Sizes must be finite and non-negative with `value_bits <= bits`.
+    /// Anything else — including NaN, which fails every comparison —
+    /// returns [`KodanError::InvalidQueueEntry`] so a corrupted tile size
+    /// degrades to a skipped entry instead of aborting the mission.
+    pub fn new(bits: f64, value_bits: f64) -> Result<QueueEntry, KodanError> {
+        let sizes_ok = bits >= 0.0 && bits.is_finite() && value_bits >= 0.0;
+        if !sizes_ok || !(value_bits <= bits + 1e-9) {
+            return Err(KodanError::InvalidQueueEntry);
+        }
+        Ok(QueueEntry { bits, value_bits })
     }
 
     /// Value density of the entry in `[0, 1]`.
@@ -160,13 +164,19 @@ impl DownlinkQueue {
                 report.sent_value_bits += entry.value_bits;
                 report.entries_sent += 1;
             } else {
-                // Partial transmit: split the entry.
+                // Partial transmit: split the entry. Both halves inherit
+                // the invariants of the validated parent by construction
+                // (fraction is in (0, 1), so sizes stay non-negative and
+                // value never exceeds size).
                 let fraction = remaining / entry.bits;
-                let sent = QueueEntry::new(remaining, entry.value_bits * fraction);
-                let leftover = QueueEntry::new(
-                    entry.bits - sent.bits,
-                    entry.value_bits - sent.value_bits,
-                );
+                let sent = QueueEntry {
+                    bits: remaining,
+                    value_bits: entry.value_bits * fraction,
+                };
+                let leftover = QueueEntry {
+                    bits: entry.bits - sent.bits,
+                    value_bits: entry.value_bits - sent.value_bits,
+                };
                 self.entries.push(leftover);
                 self.occupied_bits -= sent.bits;
                 report.sent_bits += sent.bits;
@@ -176,6 +186,42 @@ impl DownlinkQueue {
         }
         report
     }
+
+    /// Sheds whole entries in *lowest*-value-density order until at least
+    /// `bits` have been removed (or the queue empties).
+    ///
+    /// This is the degradation policy for a shrunk downlink: when a
+    /// ground contact drops, the capacity that contact would have carried
+    /// is given up from the least valuable data first, preserving the
+    /// queue's value density for the passes that remain.
+    pub fn shed_lowest(&mut self, bits: f64) -> ShedReport {
+        let mut report = ShedReport::default();
+        if bits <= 0.0 {
+            return report;
+        }
+        // Lowest density first (same order the overflow eviction uses).
+        self.entries
+            .sort_by(|a, b| a.density().total_cmp(&b.density()));
+        while report.shed_bits < bits && !self.entries.is_empty() {
+            let victim = self.entries.remove(0);
+            self.occupied_bits -= victim.bits;
+            report.shed_bits += victim.bits;
+            report.shed_value_bits += victim.value_bits;
+            report.entries_shed += 1;
+        }
+        report
+    }
+}
+
+/// Result of shedding queue entries after a lost or shrunk contact.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShedReport {
+    /// Bits removed from the queue.
+    pub shed_bits: f64,
+    /// High-value bits removed from the queue.
+    pub shed_value_bits: f64,
+    /// Entries removed.
+    pub entries_shed: usize,
 }
 
 /// Replays a queue's contents through a sequence of contention-resolved
@@ -196,7 +242,7 @@ mod tests {
     use super::*;
 
     fn entry(bits: f64, density: f64) -> QueueEntry {
-        QueueEntry::new(bits, bits * density)
+        QueueEntry::new(bits, bits * density).expect("test entry is valid")
     }
 
     #[test]
@@ -263,8 +309,26 @@ mod tests {
         let mut q = DownlinkQueue::new(100.0);
         assert_eq!(q.drain(0.0), DrainReport::default());
         assert_eq!(q.drain(50.0), DrainReport::default());
-        q.push(QueueEntry::new(0.0, 0.0)); // no-op
+        q.push(QueueEntry::new(0.0, 0.0).expect("zero entry is valid")); // no-op
         assert!(q.is_empty());
+        assert_eq!(q.shed_lowest(10.0), ShedReport::default());
+    }
+
+    #[test]
+    fn shed_lowest_removes_least_dense_first() {
+        let mut q = DownlinkQueue::new(1000.0);
+        q.push(entry(100.0, 0.9));
+        q.push(entry(100.0, 0.1));
+        q.push(entry(100.0, 0.5));
+        let r = q.shed_lowest(150.0);
+        // Whole entries: the 0.1 and 0.5 density ones go.
+        assert_eq!(r.entries_shed, 2);
+        assert!((r.shed_bits - 200.0).abs() < 1e-9);
+        assert!((r.shed_value_bits - 60.0).abs() < 1e-9);
+        assert!((q.occupied_bits() - 100.0).abs() < 1e-9);
+        // The high-density entry survives.
+        let drained = q.drain(1e9);
+        assert!((drained.sent_value_bits - 90.0).abs() < 1e-9);
     }
 
     #[test]
@@ -298,8 +362,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "value cannot exceed size")]
-    fn rejects_inconsistent_entry() {
-        let _ = QueueEntry::new(10.0, 20.0);
+    fn rejects_corrupt_entries_without_panicking() {
+        // Regression: these used to `assert!` and abort the mission; a
+        // corrupted tile size must surface as an error the caller can
+        // drop.
+        for (bits, value) in [
+            (10.0, 20.0),              // value exceeds size
+            (-1.0, 0.0),               // negative size
+            (10.0, -1.0),              // negative value
+            (f64::NAN, 1.0),           // NaN size
+            (10.0, f64::NAN),          // NaN value
+            (f64::INFINITY, 1.0),      // non-finite size
+        ] {
+            assert_eq!(
+                QueueEntry::new(bits, value),
+                Err(KodanError::InvalidQueueEntry),
+                "({bits}, {value}) should be rejected"
+            );
+        }
+        assert!(QueueEntry::new(10.0, 10.0).is_ok());
     }
 }

@@ -14,12 +14,15 @@ use crate::elide::Action;
 use crate::engine::EngineKind;
 use crate::par;
 use crate::selection::SelectionLogic;
+use crate::specialize::SpecializedModel;
 use kodan_cote::time::Duration;
+use kodan_faults::{FaultPlan, FrameFaults};
 use kodan_geodata::frame::FrameImage;
 use kodan_geodata::tile::tile_frame;
 use kodan_hw::latency::LatencyModel;
 use kodan_telemetry::{
-    ActionKind, CounterId, HistogramId, NullRecorder, Recorder, StageId, TelemetryEvent,
+    ActionKind, CounterId, FaultKind, HistogramId, NullRecorder, Recorder, RecoveryKind, StageId,
+    TelemetryEvent,
 };
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +103,16 @@ impl FrameOutcome {
     }
 }
 
+/// A fault plan armed against a runtime, plus everything the degradation
+/// policies need to survive it: the global fallback model and the known
+/// good checksum of every specialized model, captured at arm time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjection {
+    plan: FaultPlan,
+    fallback: SpecializedModel,
+    reference: Vec<u64>,
+}
+
 /// The deployed Kodan runtime for one (application, target) pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Runtime {
@@ -107,6 +120,7 @@ pub struct Runtime {
     engine: EngineKind,
     latency: LatencyModel,
     workers: usize,
+    faults: Option<FaultInjection>,
 }
 
 impl Runtime {
@@ -121,7 +135,33 @@ impl Runtime {
             engine: engine.into(),
             latency,
             workers: par::resolve_workers(0),
+            faults: None,
         }
+    }
+
+    /// Arms a fault plan against this runtime and installs the global
+    /// `fallback` model the degradation policy swaps in when an injected
+    /// upset corrupts a specialized model. Known-good weight checksums of
+    /// every specialized model are captured now, so corruption is detected
+    /// by comparison rather than trust.
+    pub fn with_fault_plan(mut self, plan: FaultPlan, fallback: SpecializedModel) -> Runtime {
+        let reference = self
+            .logic
+            .models()
+            .iter()
+            .map(|m| m.weight_checksum())
+            .collect();
+        self.faults = Some(FaultInjection {
+            plan,
+            fallback,
+            reference,
+        });
+        self
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
     }
 
     /// Pins the worker count used by [`Runtime::process_frames`]; `0`
@@ -166,9 +206,51 @@ impl Runtime {
         frame: &FrameImage,
         recorder: &mut dyn Recorder,
     ) -> FrameOutcome {
+        self.process_frame_indexed(frame, 0, recorder)
+    }
+
+    /// [`Runtime::process_frame_recorded`] for the frame at `frame_index`
+    /// in the mission's capture order. The index is the fault-site
+    /// identity an armed [`FaultPlan`] keys its per-frame decisions on,
+    /// so the same `(plan seed, frame index)` pair yields the same faults
+    /// at any worker count. Without an armed plan the index is inert.
+    ///
+    /// The degradation policy handles each injected fault without
+    /// panicking:
+    ///
+    /// - a throttling episode multiplies every modeled stage cost of the
+    ///   frame (the data path is unaffected — throttled silicon is slow,
+    ///   not wrong);
+    /// - an upset is applied to a cloned victim model and detected by
+    ///   comparing weight checksums against the values captured at arm
+    ///   time; a corrupted model is replaced by the global fallback for
+    ///   the rest of the frame;
+    /// - transient classify failures are absorbed by bounded
+    ///   retry-with-backoff in modeled time; a tile that exhausts its
+    ///   retry budget degrades to a raw downlink (the bent-pipe action)
+    ///   instead of being lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame dimension is not divisible by the selected
+    /// grid.
+    pub fn process_frame_indexed(
+        &self,
+        frame: &FrameImage,
+        frame_index: u64,
+        recorder: &mut dyn Recorder,
+    ) -> FrameOutcome {
         let tiles = tile_frame(frame, self.logic.grid());
-        let engine_time = self.latency.context_engine_tile_time();
-        let resize_time = self.latency.resize_tile_time();
+        let injection = self.faults.as_ref().filter(|f| f.plan.is_active());
+        let frame_faults = match injection {
+            Some(f) => f.plan.frame_faults(frame_index),
+            None => FrameFaults::none(),
+        };
+        // Multiplying by the 1.0 no-fault factor is bit-exact, so the
+        // disarmed path stays byte-identical to the pre-fault runtime.
+        let slow = frame_faults.slowdown;
+        let engine_time = self.latency.context_engine_tile_time() * slow;
+        let resize_time = self.latency.resize_tile_time() * slow;
         let base_per_tile = engine_time + resize_time;
 
         recorder.event(TelemetryEvent::FrameCaptured {
@@ -176,6 +258,41 @@ impl Runtime {
         });
         recorder.count(CounterId::FramesProcessed, 1);
         recorder.count(CounterId::TilesObserved, tiles.len() as u64);
+
+        if slow > 1.0 {
+            recorder.count(CounterId::FaultSlowdownFrames, 1);
+            recorder.event(TelemetryEvent::FaultInjected {
+                kind: FaultKind::Slowdown,
+            });
+        }
+
+        // Apply any upset to a cloned victim and checksum-validate it
+        // once up front; a detected mismatch retires that model slot to
+        // the global fallback for the whole frame.
+        let mut fallback_slot: Option<usize> = None;
+        if let Some(f) = injection {
+            if let Some(upset) = frame_faults.seu {
+                let models = self.logic.models();
+                if !models.is_empty() {
+                    let slot = (upset.weight_index % models.len() as u64) as usize;
+                    recorder.count(CounterId::FaultSeuInjected, 1);
+                    recorder.event(TelemetryEvent::FaultInjected {
+                        kind: FaultKind::Seu,
+                    });
+                    let mut victim = models[slot].clone();
+                    victim.corrupt_weight_bit(upset.weight_index, upset.bit);
+                    if f.reference.get(slot) != Some(&victim.weight_checksum()) {
+                        fallback_slot = Some(slot);
+                        recorder.count(CounterId::ModelFallbacks, 1);
+                        recorder.event(TelemetryEvent::FaultRecovered {
+                            kind: RecoveryKind::ModelFallback,
+                        });
+                    }
+                }
+            }
+        }
+        let retry_budget = injection.map_or(0, |f| f.plan.config().classify_retries);
+        let backoff_base_s = injection.map_or(0.0, |f| f.plan.config().retry_backoff_s);
 
         let mut outcome = FrameOutcome::default();
         for (i, tile) in tiles.iter().enumerate() {
@@ -186,7 +303,50 @@ impl Runtime {
             outcome.observed_value_px += clear_px;
             outcome.compute += base_per_tile;
             recorder.span(StageId::Preprocess, resize_time.as_seconds(), 1);
-            recorder.span(StageId::Classification, engine_time.as_seconds(), 1);
+
+            // Bounded retry-with-backoff for injected transient classify
+            // failures: each retry costs exponentially growing modeled
+            // time, charged to the Classification stage.
+            let failures = match injection {
+                Some(f) => f.plan.classify_failures(frame_index, i as u64),
+                None => 0,
+            };
+            let retries = failures.min(retry_budget);
+            let mut classify_seconds = engine_time.as_seconds();
+            if failures > 0 {
+                recorder.count(CounterId::FaultClassifyRetries, u64::from(retries));
+                recorder.event(TelemetryEvent::FaultInjected {
+                    kind: FaultKind::ClassifyTransient,
+                });
+                let backoff = backoff_base_s * (2f64.powi(retries as i32) - 1.0) * slow;
+                outcome.compute += Duration::from_seconds(backoff);
+                classify_seconds += backoff;
+            }
+            recorder.span(StageId::Classification, classify_seconds, 1);
+
+            if failures > retry_budget {
+                // Retry budget exhausted: rather than lose the tile, fall
+                // back to the bent-pipe action and downlink it raw.
+                recorder.count(CounterId::FaultClassifyExhausted, 1);
+                recorder.event(TelemetryEvent::FaultRecovered {
+                    kind: RecoveryKind::ClassifyGaveUp,
+                });
+                outcome.tiles_elided += 1;
+                outcome.sent_px += px;
+                outcome.value_px += clear_px;
+                recorder.event(TelemetryEvent::ActionTaken {
+                    tile: tile_index,
+                    action: ActionKind::Downlink,
+                });
+                recorder.count(CounterId::TilesDownlinked, 1);
+                recorder.span(StageId::Elision, 0.0, 1);
+                continue;
+            }
+            if retries > 0 {
+                recorder.event(TelemetryEvent::FaultRecovered {
+                    kind: RecoveryKind::ClassifyRetry,
+                });
+            }
 
             let context = self.engine.classify_recorded(tile, tile_index, recorder);
             let action = self.logic.action_for(context);
@@ -209,10 +369,14 @@ impl Runtime {
                 }
                 Action::Process { model_index } => {
                     outcome.tiles_processed += 1;
-                    let model = &self.logic.models()[model_index];
+                    let model = match (fallback_slot, injection) {
+                        (Some(slot), Some(f)) if slot == model_index => &f.fallback,
+                        _ => &self.logic.models()[model_index],
+                    };
                     let inference = self
                         .latency
-                        .specialized_tile_time(self.logic.arch(), model.ops_ratio());
+                        .specialized_tile_time(self.logic.arch(), model.ops_ratio())
+                        * slow;
                     outcome.compute += inference;
                     recorder.count(CounterId::TilesProcessed, 1);
                     recorder.count(CounterId::ModelInvocations, 1);
@@ -282,8 +446,8 @@ impl Runtime {
         I: IntoIterator<Item = &'a FrameImage>,
     {
         let frames: Vec<&FrameImage> = frames.into_iter().collect();
-        let outcomes = par::par_map_recorded(self.workers, &frames, recorder, |_, frame, rec| {
-            self.process_frame_recorded(frame, rec)
+        let outcomes = par::par_map_recorded(self.workers, &frames, recorder, |i, frame, rec| {
+            self.process_frame_indexed(frame, i as u64, rec)
         });
         let mut total = FrameOutcome::default();
         for o in &outcomes {
@@ -301,7 +465,9 @@ impl Runtime {
     /// outcome, in frame order (used by detailed mission replay, which
     /// needs per-frame results rather than the aggregate).
     pub fn frame_outcomes(&self, frames: &[FrameImage]) -> Vec<FrameOutcome> {
-        par::par_map_indexed(self.workers, frames, |_, frame| self.process_frame(frame))
+        par::par_map_indexed(self.workers, frames, |i, frame| {
+            self.process_frame_indexed(frame, i as u64, &mut NullRecorder)
+        })
     }
 }
 

@@ -317,10 +317,8 @@ impl SelectionLogic {
             .grids
             .iter()
             .max_by(|a, b| {
-                a.global_eval_all
-                    .precision()
-                    .partial_cmp(&b.global_eval_all.precision())
-                    .expect("precision is finite")
+                precision_rank(a.global_eval_all.precision())
+                    .total_cmp(&precision_rank(b.global_eval_all.precision()))
             })
             .expect("artifacts contain grids");
         Self::fixed_policy(artifacts, ga.grid, target, deadline, capacity_fraction)
@@ -515,6 +513,19 @@ fn optimize_actions(
 /// deadline" behavior, Section 3.4).
 const DVD_COMPARE_QUANTUM: f64 = 0.005;
 
+/// Ranks a precision for baseline-grid comparison, treating non-finite
+/// values as worst. `ConfusionMatrix::precision` is zero-guarded today,
+/// but corrupted evaluation data (e.g. an injected fault upstream) can
+/// route NaN through this ranking — and `partial_cmp().expect(..)` here
+/// used to panic on it instead of degrading.
+fn precision_rank(precision: f64) -> f64 {
+    if precision.is_finite() {
+        precision
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
 /// Lexicographic policy score: meeting the frame deadline first — the
 /// paper's runtime "executes the most precise models that support average
 /// frame processing times less than the frame deadline" — then quantized
@@ -577,6 +588,22 @@ mod tests {
 
     fn latency() -> LatencyModel {
         LatencyModel::new(HwTarget::OrinAgx15W)
+    }
+
+    #[test]
+    fn non_finite_precision_ranks_worst() {
+        // Regression for the `.expect("precision is finite")` panic: the
+        // baseline comparator must order NaN/inf below every real
+        // precision instead of aborting.
+        assert_eq!(precision_rank(0.7), 0.7);
+        assert_eq!(precision_rank(f64::NAN), f64::NEG_INFINITY);
+        assert_eq!(precision_rank(f64::INFINITY), f64::NEG_INFINITY);
+        assert_eq!(precision_rank(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        let mut ranks = [f64::NAN, 0.2, 0.9, f64::INFINITY, 0.0];
+        ranks.sort_by(|a, b| precision_rank(*a).total_cmp(&precision_rank(*b)));
+        // Both non-finite values sort first; 0.9 wins the max.
+        assert_eq!(ranks[4], 0.9);
+        assert!((precision_rank(ranks[0])).is_infinite());
     }
 
     fn process_outcome(prec: f64, recall: f64, prevalence: f64, time_s: f64) -> ActionOutcome {

@@ -206,6 +206,20 @@ impl SpecializedModel {
         }
         cm
     }
+
+    /// Integrity checksum over the classifier's weights (see
+    /// [`Mlp::weight_checksum`]). The runtime compares this against the
+    /// value recorded at transformation time before trusting a
+    /// specialized model on orbit.
+    pub fn weight_checksum(&self) -> u64 {
+        self.classifier.weight_checksum()
+    }
+
+    /// Flips one classifier weight bit — a modeled single-event upset
+    /// (see [`Mlp::flip_weight_bit`]). Total for any coordinates.
+    pub fn corrupt_weight_bit(&mut self, index: u64, bit: u32) {
+        self.classifier.flip_weight_bit(index, bit);
+    }
 }
 
 /// Extracts the full per-pixel feature matrix of a tile at a given model

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 fn entry_strategy() -> impl Strategy<Value = QueueEntry> {
     (1.0f64..1000.0, 0.0f64..1.0).prop_map(|(bits, density)| {
-        QueueEntry::new(bits, bits * density)
+        QueueEntry::new(bits, bits * density).expect("generated entry is valid")
     })
 }
 

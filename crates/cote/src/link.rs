@@ -56,9 +56,24 @@ impl fmt::Display for ContactWindow {
 }
 
 /// Coarse step in seconds used when scanning for visibility transitions. A
-/// LEO pass lasts several minutes, so 10 s cannot skip over one entirely —
-/// except grazing passes, which contribute negligible capacity.
+/// typical LEO pass lasts several minutes, so 10 s cannot skip over one —
+/// but a grazing pass that peaks just above the mask can fit entirely
+/// between two samples, so invisible->invisible steps whose midpoint is
+/// near the horizon are probed recursively (see [`find_visible_between`]).
 const SCAN_STEP_SECONDS: f64 = 10.0;
+
+/// How far below the elevation mask (radians) the midpoint of a scan step
+/// may sit while still being probed for an interior grazing pass. A LEO
+/// satellite's elevation changes by at most ~3 degrees over half a scan
+/// step, so 8 degrees conservatively bounds the probe to near-horizon
+/// intervals — everything further below the mask provably cannot peak
+/// above it within the step.
+const GRAZING_MARGIN_RAD: f64 = 8.0 * std::f64::consts::PI / 180.0;
+
+/// Smallest interval the grazing probe subdivides, seconds. Passes below
+/// ~1 s are discarded by [`push_window`] anyway, so probing a finer grid
+/// buys nothing.
+const PROBE_FLOOR_SECONDS: f64 = 0.5;
 
 /// Computes all contact windows between one satellite and every station of
 /// a ground segment over `[orbit.epoch(), orbit.epoch() + horizon]`.
@@ -86,7 +101,9 @@ fn station_windows(
 ) -> Vec<ContactWindow> {
     let t0 = orbit.epoch();
     let t_end = t0 + horizon;
-    let visible = |t: Epoch| station.sees(position_ecef(orbit, t));
+    let elevation = |t: Epoch| station.elevation_of(position_ecef(orbit, t));
+    let mask = station.min_elevation();
+    let visible = |t: Epoch| elevation(t) >= mask;
 
     let mut windows = Vec::new();
     let mut t = t0;
@@ -106,6 +123,16 @@ fn station_windows(
                 push_window(&mut windows, station_idx, station, r, edge);
             }
             was_visible = now_visible;
+        } else if !now_visible {
+            // Both endpoints below the mask: a grazing pass shorter than
+            // one scan step can still peak above it in between. Probe the
+            // interior, but only while the elevation stays near the
+            // horizon, so the extra cost is confined to grazing geometry.
+            if let Some(peak) = find_visible_between(&elevation, mask, t, t_next) {
+                let rise_edge = bisect_transition(&visible, t, peak);
+                let set_edge = bisect_transition(&visible, peak, t_next);
+                push_window(&mut windows, station_idx, station, rise_edge, set_edge);
+            }
         }
         t = t_next;
     }
@@ -131,6 +158,32 @@ fn push_window(
             rate_bps: station.downlink_rate_bps(),
         });
     }
+}
+
+/// Hunts for a visible instant strictly inside `(lo, hi)` when both
+/// endpoints are below the mask, by recursive midpoint halving down to
+/// [`PROBE_FLOOR_SECONDS`]. Subtrees whose midpoint elevation is more
+/// than [`GRAZING_MARGIN_RAD`] below the mask are pruned: the elevation
+/// cannot climb that far within the sub-interval.
+fn find_visible_between(
+    elevation: &impl Fn(Epoch) -> f64,
+    mask: f64,
+    lo: Epoch,
+    hi: Epoch,
+) -> Option<Epoch> {
+    if (hi - lo).as_seconds() < PROBE_FLOOR_SECONDS {
+        return None;
+    }
+    let mid = lo + (hi - lo) * 0.5;
+    let el = elevation(mid);
+    if el >= mask {
+        return Some(mid);
+    }
+    if el < mask - GRAZING_MARGIN_RAD {
+        return None;
+    }
+    find_visible_between(elevation, mask, lo, mid)
+        .or_else(|| find_visible_between(elevation, mask, mid, hi))
 }
 
 /// Bisects a visibility transition within `(lo, hi)` down to 100 ms.
@@ -238,6 +291,85 @@ mod tests {
         assert!(w.contains(w.start));
         assert!(w.contains(w.end));
         assert!(!w.contains(w.end + Duration::from_seconds(5.0)));
+    }
+
+    #[test]
+    fn grazing_passes_shorter_than_a_scan_step_are_found() {
+        // Regression for the coarse-scan miss: a pass that rises and sets
+        // entirely between two SCAN_STEP_SECONDS samples used to vanish.
+        //
+        // Synthesis: find the orbit's peak elevation over a day at a probe
+        // site, then set the station mask just below that peak so the
+        // above-mask interval lasts only ~5 s. Probe sites are tried until
+        // the pass also sits *between* 10 s grid samples, which is exactly
+        // the geometry the old endpoint-only scan could not see.
+        let orbit = Orbit::sun_synchronous(705_000.0);
+        let day = Duration::from_hours(24.0);
+        let t0 = orbit.epoch();
+        let sites = [
+            (45.0, 8.0),
+            (30.0, -100.0),
+            (52.0, 151.0),
+            (10.0, 35.0),
+            (-33.0, -70.0),
+            (60.0, -45.0),
+        ];
+        let mut synthesized = None;
+        for (lat, lon) in sites {
+            let probe = GroundStation::new("Probe", lat, lon, 5.0, 1e8);
+            let elevation =
+                |t: Epoch| probe.elevation_of(crate::propagate::position_ecef(&orbit, t));
+            // Coarse argmax at 1 s resolution.
+            let mut best_t = t0;
+            let mut best_el = f64::NEG_INFINITY;
+            let mut t = t0;
+            while t < t0 + day {
+                let el = elevation(t);
+                if el > best_el {
+                    best_el = el;
+                    best_t = t;
+                }
+                t += Duration::from_seconds(1.0);
+            }
+            // Mask at the elevation 2.5 s off-peak -> a ~5 s pass.
+            let half = Duration::from_seconds(2.5);
+            let thr = elevation(best_t - half).min(elevation(best_t + half));
+            let mask_deg = thr.to_degrees();
+            // Keep only geometries where the whole pass sits between two
+            // 10 s grid samples (offset of the peak within the grid).
+            let off = (best_t - t0).as_seconds() % SCAN_STEP_SECONDS;
+            if (1.0..90.0).contains(&mask_deg) && (3.0..=7.0).contains(&off) {
+                synthesized = Some((lat, lon, mask_deg, best_t));
+                break;
+            }
+        }
+        let (lat, lon, mask_deg, peak_t) =
+            synthesized.expect("no probe site produced an off-grid grazing pass");
+
+        let station = GroundStation::new("Grazing", lat, lon, mask_deg, 1e8);
+        let seg = GroundSegment::single(station.clone());
+        let windows = contact_windows(&orbit, &seg, day);
+        let hit = windows
+            .iter()
+            .find(|w| w.contains(peak_t))
+            .expect("grazing pass missed by the scan");
+        assert!(
+            hit.duration().as_seconds() < SCAN_STEP_SECONDS,
+            "synthesized pass lasts {} s, not grazing",
+            hit.duration().as_seconds()
+        );
+        // Proof this is the regression geometry: every coarse grid sample
+        // near the pass is below the mask, so the old endpoint-only scan
+        // saw invisible -> invisible and skipped it.
+        let mut k = ((hit.start - t0).as_seconds() / SCAN_STEP_SECONDS).floor() - 2.0;
+        while k * SCAN_STEP_SECONDS < (hit.end - t0).as_seconds() + 2.0 * SCAN_STEP_SECONDS {
+            let sample = t0 + Duration::from_seconds(k * SCAN_STEP_SECONDS);
+            assert!(
+                !station.sees(crate::propagate::position_ecef(&orbit, sample)),
+                "a 10 s grid sample lands inside the pass; geometry is not grazing"
+            );
+            k += 1.0;
+        }
     }
 
     #[test]

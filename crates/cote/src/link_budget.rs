@@ -66,14 +66,14 @@ impl RadioLink {
     /// Slant range in meters from a ground station to a satellite at
     /// `altitude_m`, seen at elevation `elevation_rad`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the elevation is outside `[0, pi/2]`.
+    /// The geometric formula is only meaningful for elevations in
+    /// `[0, pi/2]`; inputs outside that interval are clamped to it.
+    /// Callers feeding raw propagator output can therefore pass slightly
+    /// negative (below-horizon) or slightly-past-vertical angles from
+    /// floating-point jitter without aborting — this used to `assert!`
+    /// and panic, which is unacceptable in the unattended runtime path.
     pub fn slant_range_m(elevation_rad: f64, altitude_m: f64) -> f64 {
-        assert!(
-            (0.0..=std::f64::consts::FRAC_PI_2 + 1e-9).contains(&elevation_rad),
-            "elevation must be in [0, pi/2]"
-        );
+        let elevation_rad = elevation_rad.clamp(0.0, std::f64::consts::FRAC_PI_2);
         let re = EARTH_RADIUS_MEAN;
         let r_orbit = re + altitude_m;
         let cos_e = elevation_rad.cos();
@@ -88,8 +88,26 @@ impl RadioLink {
     }
 
     /// Achievable information rate at an elevation, bits/s, capped by the
-    /// modem rate. Returns 0 when the link cannot close.
+    /// modem rate.
+    ///
+    /// Domain: any finite elevation. Below-horizon elevations
+    /// (`elevation_rad <= 0`) cannot close the link and return exactly 0;
+    /// elevations past vertical are clamped to `pi/2` by
+    /// [`RadioLink::slant_range_m`].
     pub fn achievable_rate_bps(&self, elevation_rad: f64, altitude_m: f64) -> f64 {
+        self.achievable_rate_bps_faded(elevation_rad, altitude_m, 0.0)
+    }
+
+    /// [`RadioLink::achievable_rate_bps`] with an additional link-budget
+    /// penalty of `fade_db` decibels (e.g. rain fade). A fade of 0 dB is
+    /// exactly the clear-sky rate; 10 dB costs one order of magnitude of
+    /// rate wherever the modem cap is not binding.
+    pub fn achievable_rate_bps_faded(
+        &self,
+        elevation_rad: f64,
+        altitude_m: f64,
+        fade_db: f64,
+    ) -> f64 {
         if elevation_rad <= 0.0 {
             return 0.0;
         }
@@ -97,7 +115,8 @@ impl RadioLink {
         let fspl = self.free_space_path_loss_db(range);
         let rate_db_hz = self.eirp_dbw + self.station_g_over_t_db - fspl
             - BOLTZMANN_DBW
-            - self.required_eb_n0_db;
+            - self.required_eb_n0_db
+            - fade_db.max(0.0);
         let rate = 10f64.powf(rate_db_hz / 10.0);
         rate.min(self.max_rate_bps)
     }
@@ -201,5 +220,46 @@ mod tests {
     fn zero_elevation_cannot_close() {
         let link = RadioLink::cubesat_s_band();
         assert_eq!(link.achievable_rate_bps(0.0, 500_000.0), 0.0);
+    }
+
+    #[test]
+    fn below_horizon_elevations_degrade_instead_of_panicking() {
+        // Regression: slant_range_m used to assert on elevations outside
+        // [0, pi/2], so raw propagator output with a slightly negative
+        // elevation aborted the process. Now the geometry clamps.
+        let horizon = RadioLink::slant_range_m(0.0, 705_000.0);
+        assert_eq!(RadioLink::slant_range_m(-0.01, 705_000.0), horizon);
+        let overhead = RadioLink::slant_range_m(std::f64::consts::FRAC_PI_2, 705_000.0);
+        assert_eq!(
+            RadioLink::slant_range_m(std::f64::consts::FRAC_PI_2 + 0.01, 705_000.0),
+            overhead
+        );
+        // And the rate for anything at or below the horizon is exactly 0.
+        let link = RadioLink::landsat_x_band();
+        for deg in [-30.0, -5.0, -0.001, 0.0] {
+            assert_eq!(
+                link.achievable_rate_bps((deg as f64).to_radians(), 705_000.0),
+                0.0,
+                "{deg} deg should not close the link"
+            );
+        }
+    }
+
+    #[test]
+    fn rain_fade_costs_rate_where_the_cap_is_not_binding() {
+        let link = RadioLink::landsat_x_band();
+        let el = 5f64.to_radians();
+        let clear = link.achievable_rate_bps(el, 705_000.0);
+        assert_eq!(link.achievable_rate_bps_faded(el, 705_000.0, 0.0), clear);
+        let faded = link.achievable_rate_bps_faded(el, 705_000.0, 10.0);
+        assert!(faded < clear, "10 dB fade must reduce the rate");
+        assert!(
+            (faded * 10.0 - clear).abs() / clear < 1e-9,
+            "10 dB is one order of magnitude below the cap"
+        );
+        // Negative fades are treated as clear sky, not a gain.
+        assert_eq!(link.achievable_rate_bps_faded(el, 705_000.0, -3.0), clear);
+        // Below the horizon fading is moot: still zero.
+        assert_eq!(link.achievable_rate_bps_faded(-0.1, 705_000.0, 3.0), 0.0);
     }
 }

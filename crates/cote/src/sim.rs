@@ -44,6 +44,25 @@ impl ServedPass {
     pub fn bits(&self) -> f64 {
         self.duration().as_seconds() * self.rate_bps
     }
+
+    /// This pass truncated to the leading `keep_fraction` of its duration
+    /// (clamped to `[0, 1]`). Models a contact cut short by a station
+    /// fault or early loss of signal.
+    pub fn shortened(&self, keep_fraction: f64) -> ServedPass {
+        let keep = keep_fraction.clamp(0.0, 1.0);
+        ServedPass {
+            end: self.start + self.duration() * keep,
+            ..self.clone()
+        }
+    }
+
+    /// This pass at a different sustained rate (e.g. after rain fade).
+    pub fn with_rate(&self, rate_bps: f64) -> ServedPass {
+        ServedPass {
+            rate_bps: rate_bps.max(0.0),
+            ..self.clone()
+        }
+    }
 }
 
 /// Aggregate result of a space-segment simulation.

@@ -102,16 +102,19 @@ impl ScopedRule {
     }
 }
 
-/// The six crates whose artifacts must be bit-reproducible. The
+/// The seven crates whose artifacts must be bit-reproducible. The
 /// telemetry crate is here by construction: its snapshots are asserted
 /// byte-identical across runs, so wall-clock reads would break them.
-const DETERMINISTIC_CRATES: [&str; 6] = [
+/// The faults crate doubly so: its whole contract is that fault
+/// schedules are pure functions of the seed.
+const DETERMINISTIC_CRATES: [&str; 7] = [
     "crates/core/src/",
     "crates/cote/src/",
     "crates/geodata/src/",
     "crates/ml/src/",
     "crates/hw/src/",
     "crates/telemetry/src/",
+    "crates/faults/src/",
 ];
 
 /// The on-orbit runtime path: code that executes per-tile on the
@@ -125,7 +128,7 @@ const RUNTIME_PATH_FILES: [&str; 5] = [
 ];
 
 /// Library-crate roots that must carry the hygiene attributes.
-const LIBRARY_CRATE_ROOTS: [&str; 9] = [
+const LIBRARY_CRATE_ROOTS: [&str; 10] = [
     "crates/core/src/lib.rs",
     "crates/cote/src/lib.rs",
     "crates/geodata/src/lib.rs",
@@ -134,6 +137,7 @@ const LIBRARY_CRATE_ROOTS: [&str; 9] = [
     "crates/bench/src/lib.rs",
     "crates/lint/src/lib.rs",
     "crates/telemetry/src/lib.rs",
+    "crates/faults/src/lib.rs",
     "src/lib.rs",
 ];
 

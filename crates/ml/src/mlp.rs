@@ -223,6 +223,65 @@ impl Mlp {
     pub fn ops_per_prediction(&self) -> usize {
         self.hidden * self.input_dim + self.hidden
     }
+
+    /// Total trainable parameters: `w1`, `b1`, `w2` and `b2`.
+    pub fn param_count(&self) -> usize {
+        self.hidden * self.input_dim + self.hidden + self.hidden + 1
+    }
+
+    /// FNV-1a checksum over the exact bit patterns of every parameter, in
+    /// the fixed order `w1` (row-major), `b1`, `w2`, `b2`.
+    ///
+    /// This is the integrity tag the runtime's degradation policy checks
+    /// before trusting a specialized model: any single flipped weight bit
+    /// changes the checksum, and the sum itself depends only on the
+    /// weights, never on wall time or layout.
+    pub fn weight_checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: f64| {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for r in 0..self.hidden {
+            for c in 0..self.input_dim {
+                mix(self.w1[(r, c)]);
+            }
+        }
+        for &v in &self.b1 {
+            mix(v);
+        }
+        for &v in &self.w2 {
+            mix(v);
+        }
+        mix(self.b2);
+        h
+    }
+
+    /// Flips one bit of one parameter — a modeled single-event upset.
+    ///
+    /// `index` addresses the flattened parameter vector in the same order
+    /// as [`Mlp::weight_checksum`] and is reduced modulo
+    /// [`Mlp::param_count`]; `bit` is reduced modulo 64. Deliberately
+    /// total: fault injection must never panic, whatever the raw fault
+    /// coordinates drawn by the plan.
+    pub fn flip_weight_bit(&mut self, index: u64, bit: u32) {
+        let index = (index % self.param_count() as u64) as usize;
+        let mask = 1u64 << (bit % 64);
+        let flip = |v: &mut f64| *v = f64::from_bits(v.to_bits() ^ mask);
+        let w1_len = self.hidden * self.input_dim;
+        if index < w1_len {
+            let (r, c) = (index / self.input_dim, index % self.input_dim);
+            flip(&mut self.w1[(r, c)]);
+        } else if index < w1_len + self.hidden {
+            flip(&mut self.b1[index - w1_len]);
+        } else if index < w1_len + 2 * self.hidden {
+            flip(&mut self.w2[index - w1_len - self.hidden]);
+        } else {
+            flip(&mut self.b2);
+        }
+    }
 }
 
 impl PixelClassifier for Mlp {
@@ -358,6 +417,33 @@ mod tests {
         // The output buffer is reused, not appended to.
         model.predict_proba_batch_into(&flat, 2, &mut strided);
         assert_eq!(batch, strided);
+    }
+
+    #[test]
+    fn checksum_detects_every_single_bit_flip() {
+        let (xs, ys) = circle_data(60);
+        let model = Mlp::fit(&xs, &ys, 4, &TrainConfig::fast(3));
+        let clean = model.weight_checksum();
+        // Deterministic: recomputing never drifts.
+        assert_eq!(clean, model.weight_checksum());
+        assert_eq!(model.param_count(), 4 * 2 + 4 + 4 + 1);
+        // Flip any parameter's bit anywhere: checksum must change, and
+        // flipping it back must restore the original sum exactly.
+        for index in 0..model.param_count() as u64 {
+            let mut corrupt = model.clone();
+            corrupt.flip_weight_bit(index, (index % 64) as u32);
+            assert_ne!(
+                corrupt.weight_checksum(),
+                clean,
+                "flip at {index} went undetected"
+            );
+            corrupt.flip_weight_bit(index, (index % 64) as u32);
+            assert_eq!(corrupt.weight_checksum(), clean);
+        }
+        // Out-of-range fault coordinates reduce instead of panicking.
+        let mut wrapped = model.clone();
+        wrapped.flip_weight_bit(u64::MAX, 200);
+        assert_ne!(wrapped.weight_checksum(), clean);
     }
 
     #[test]

@@ -183,11 +183,30 @@ pub enum CounterId {
     MergedModelsTrained,
     /// Contexts produced by context generation.
     ContextsGenerated,
+    /// Injected single-event upsets (weight-bit corruptions).
+    FaultSeuInjected,
+    /// Frames processed under an injected compute slowdown.
+    FaultSlowdownFrames,
+    /// Classify retries forced by injected transient failures.
+    FaultClassifyRetries,
+    /// Tiles whose classify retry budget was exhausted.
+    FaultClassifyExhausted,
+    /// Ground contacts dropped by injected faults.
+    FaultContactsDropped,
+    /// Ground contacts shortened by injected faults.
+    FaultContactsShortened,
+    /// Frames served by the global fallback model after corruption was
+    /// detected.
+    ModelFallbacks,
+    /// Queue entries shed to absorb lost downlink capacity.
+    QueueEntriesShed,
+    /// Queue entries rejected for corrupted (invalid) sizes.
+    QueueEntriesRejected,
 }
 
 impl CounterId {
     /// Every counter, in canonical serialization order.
-    pub const ALL: [CounterId; 13] = [
+    pub const ALL: [CounterId; 22] = [
         CounterId::FramesProcessed,
         CounterId::TilesObserved,
         CounterId::TilesDiscarded,
@@ -201,6 +220,15 @@ impl CounterId {
         CounterId::ModelsTrained,
         CounterId::MergedModelsTrained,
         CounterId::ContextsGenerated,
+        CounterId::FaultSeuInjected,
+        CounterId::FaultSlowdownFrames,
+        CounterId::FaultClassifyRetries,
+        CounterId::FaultClassifyExhausted,
+        CounterId::FaultContactsDropped,
+        CounterId::FaultContactsShortened,
+        CounterId::ModelFallbacks,
+        CounterId::QueueEntriesShed,
+        CounterId::QueueEntriesRejected,
     ];
 
     /// Stable snake_case name used in snapshots.
@@ -219,6 +247,15 @@ impl CounterId {
             CounterId::ModelsTrained => "models_trained",
             CounterId::MergedModelsTrained => "merged_models_trained",
             CounterId::ContextsGenerated => "contexts_generated",
+            CounterId::FaultSeuInjected => "fault_seu_injected",
+            CounterId::FaultSlowdownFrames => "fault_slowdown_frames",
+            CounterId::FaultClassifyRetries => "fault_classify_retries",
+            CounterId::FaultClassifyExhausted => "fault_classify_exhausted",
+            CounterId::FaultContactsDropped => "fault_contacts_dropped",
+            CounterId::FaultContactsShortened => "fault_contacts_shortened",
+            CounterId::ModelFallbacks => "model_fallbacks",
+            CounterId::QueueEntriesShed => "queue_entries_shed",
+            CounterId::QueueEntriesRejected => "queue_entries_rejected",
         }
     }
 
@@ -302,6 +339,76 @@ impl fmt::Display for HistogramId {
     }
 }
 
+/// The kind of an injected fault, mirrored from `kodan-faults` (the
+/// telemetry crate sits below the fault layer in the dependency graph, so
+/// it carries its own copy of the vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A single-event upset flipped a specialized-model weight bit.
+    Seu,
+    /// A thermal-throttling episode multiplied frame compute time.
+    Slowdown,
+    /// A transient classify failure forced a retry.
+    ClassifyTransient,
+    /// A ground contact was dropped entirely.
+    ContactDrop,
+    /// A ground contact was cut short.
+    ContactShorten,
+    /// Rain fade reduced a contact's link budget.
+    RainFade,
+}
+
+impl FaultKind {
+    /// Stable snake_case name used in journal rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Seu => "seu",
+            FaultKind::Slowdown => "slowdown",
+            FaultKind::ClassifyTransient => "classify_transient",
+            FaultKind::ContactDrop => "contact_drop",
+            FaultKind::ContactShorten => "contact_shorten",
+            FaultKind::RainFade => "rain_fade",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The degradation policy the runtime applied to survive a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryKind {
+    /// A corrupted specialized model was replaced by the global model.
+    ModelFallback,
+    /// A transient classify failure was absorbed by a retry.
+    ClassifyRetry,
+    /// The retry budget ran out; the tile degraded to a raw downlink.
+    ClassifyGaveUp,
+    /// Low-value queue entries were shed to fit a reduced contact.
+    QueueShed,
+}
+
+impl RecoveryKind {
+    /// Stable snake_case name used in journal rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryKind::ModelFallback => "model_fallback",
+            RecoveryKind::ClassifyRetry => "classify_retry",
+            RecoveryKind::ClassifyGaveUp => "classify_gave_up",
+            RecoveryKind::QueueShed => "queue_shed",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One entry of the per-frame event journal.
 ///
 /// Events carry no frame number: a [`TelemetryEvent::FrameCaptured`]
@@ -347,6 +454,16 @@ pub enum TelemetryEvent {
         /// Total pixels observed in the frame.
         observed_px: u64,
     },
+    /// The fault plan injected a fault.
+    FaultInjected {
+        /// What was injected.
+        kind: FaultKind,
+    },
+    /// The runtime's degradation policy absorbed a fault.
+    FaultRecovered {
+        /// How the runtime recovered.
+        kind: RecoveryKind,
+    },
 }
 
 impl fmt::Display for TelemetryEvent {
@@ -378,6 +495,12 @@ impl fmt::Display for TelemetryEvent {
                 f,
                 "pixels_accounted sent={sent_px} value={value_px} observed={observed_px}"
             ),
+            TelemetryEvent::FaultInjected { kind } => {
+                write!(f, "fault_injected kind={kind}")
+            }
+            TelemetryEvent::FaultRecovered { kind } => {
+                write!(f, "fault_recovered kind={kind}")
+            }
         }
     }
 }
@@ -446,6 +569,12 @@ mod tests {
         assert_eq!(e.to_string(), "action_taken tile=3 action=model#1");
         let c = TelemetryEvent::TileClassified { tile: 0, context: 2 };
         assert_eq!(c.to_string(), "tile_classified tile=0 context=2");
+        let i = TelemetryEvent::FaultInjected { kind: FaultKind::Seu };
+        assert_eq!(i.to_string(), "fault_injected kind=seu");
+        let r = TelemetryEvent::FaultRecovered {
+            kind: RecoveryKind::ModelFallback,
+        };
+        assert_eq!(r.to_string(), "fault_recovered kind=model_fallback");
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod recorder;
 pub mod snapshot;
 pub mod tape;
 
-pub use event::{ActionKind, CounterId, HistogramId, StageId, TelemetryEvent};
+pub use event::{
+    ActionKind, CounterId, FaultKind, HistogramId, RecoveryKind, StageId, TelemetryEvent,
+};
 pub use recorder::{NullRecorder, Recorder, SummaryRecorder};
 pub use snapshot::{HistogramSnapshot, SpanTotal, TelemetrySnapshot};
 pub use tape::{TapeEntry, TapeRecorder};

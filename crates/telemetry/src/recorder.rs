@@ -199,6 +199,10 @@ impl Recorder for SummaryRecorder {
                 *self.model_invocations.entry(model_index).or_insert(0) += 1;
             }
             TelemetryEvent::PixelsAccounted { .. } => {}
+            // Fault traffic is aggregated through dedicated counters by
+            // the injection sites; here it is journal-only.
+            TelemetryEvent::FaultInjected { .. } => {}
+            TelemetryEvent::FaultRecovered { .. } => {}
         }
     }
 

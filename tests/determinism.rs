@@ -221,6 +221,92 @@ fn parallel_training_matches_serial_artifacts_and_selection() {
 }
 
 #[test]
+fn fault_injected_missions_are_byte_identical_at_any_worker_count() {
+    // The fault-injection contract: a mission flown under a fault plan is
+    // just as reproducible as a clean one. Same fault seed => identical
+    // MissionReport, identical detailed (queue-replay) report, and
+    // byte-identical telemetry JSON, at 1, 2 and 4 workers — because every
+    // fault decision is a pure function of (seed, site identity), never of
+    // thread arrival order.
+    use kodan_cote::sim::ServedPass;
+    use kodan_cote::time::{Duration, Epoch};
+    use kodan_faults::{FaultConfig, FaultPlan};
+
+    let dataset = small_dataset(1);
+    let artifacts = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = World::new(42);
+    let params = MissionParams {
+        sample_frames: 6,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 1.0,
+    };
+    let passes: Vec<ServedPass> = (0..12)
+        .map(|i| {
+            let start = Epoch::mission_start() + Duration::from_minutes(90.0 * i as f64);
+            ServedPass {
+                satellite: 0,
+                station: 0,
+                start,
+                end: start + Duration::from_minutes(8.0),
+                rate_bps: 3.0e8,
+            }
+        })
+        .collect();
+
+    let run = |workers: usize| {
+        let plan = FaultPlan::new(FaultConfig::nominal(99)).expect("nominal plan is valid");
+        let logic = artifacts.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let fallback = artifacts
+            .grid_artifacts(logic.grid())
+            .expect("selected grid exists")
+            .global_model
+            .clone();
+        let runtime = Runtime::new(logic, artifacts.engine.clone())
+            .with_workers(workers)
+            .with_fault_plan(plan.clone(), fallback);
+        let mission = Mission::new(&env, &world, params);
+        let mut recorder = SummaryRecorder::new();
+        let report =
+            mission.run_with_runtime_recorded(&runtime, SystemKind::Kodan, &mut recorder);
+        let detailed = mission.run_detailed_faulted(
+            &runtime,
+            &passes,
+            1.0e9,
+            100.0,
+            Some(&plan),
+            &mut recorder,
+        );
+        (report, detailed, recorder.snapshot().to_json())
+    };
+
+    let (report_1, detailed_1, json_1) = run(1);
+    // The plan actually fired: this is a determinism test of the faulted
+    // path, not the clean one.
+    assert!(
+        json_1.contains("fault_injected"),
+        "nominal plan injected nothing over the mission"
+    );
+    for workers in [2, 4] {
+        let (report_n, detailed_n, json_n) = run(workers);
+        assert_eq!(report_1, report_n, "{workers}-worker faulted mission diverged");
+        assert_eq!(detailed_1, detailed_n, "{workers}-worker detailed replay diverged");
+        assert_eq!(
+            json_1.as_bytes(),
+            json_n.as_bytes(),
+            "{workers}-worker faulted telemetry diverged"
+        );
+    }
+}
+
+#[test]
 fn selection_is_reproducible_across_rederivations() {
     let dataset = small_dataset(1);
     let artifacts = Transformation::new(KodanConfig::fast(9))

@@ -124,6 +124,165 @@ fn selection_estimate_predicts_mission_behavior() {
     );
 }
 
+/// An armed runtime for the fault-path tests: the selected logic plus the
+/// selected grid's global model as the degradation fallback.
+fn faulted_runtime(config: kodan_faults::FaultConfig) -> Runtime {
+    use kodan_faults::FaultPlan;
+    let artifacts = test_artifacts();
+    let env = SpaceEnvironment::fixed(0.21);
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let fallback = artifacts
+        .grid_artifacts(logic.grid())
+        .expect("selected grid exists")
+        .global_model
+        .clone();
+    let plan = FaultPlan::new(config).expect("fault config is valid");
+    Runtime::new(logic, artifacts.engine.clone()).with_fault_plan(plan, fallback)
+}
+
+#[test]
+fn corrupted_models_fall_back_to_the_global_model() {
+    // Force an SEU every frame. A bit flip always moves the weight
+    // checksum, so every injected upset must be caught at validation and
+    // answered with a global-model fallback — and the mission must still
+    // produce a sane report rather than inferring through corrupt weights.
+    use kodan_faults::FaultConfig;
+    use kodan_telemetry::{CounterId, SummaryRecorder};
+
+    let mut config = FaultConfig::nominal(7);
+    config.seu_rate = 1.0;
+    let runtime = faulted_runtime(config);
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = test_world();
+    let mut recorder = SummaryRecorder::new();
+    let report = Mission::new(&env, &world, mission_params()).run_with_runtime_recorded(
+        &runtime,
+        SystemKind::Kodan,
+        &mut recorder,
+    );
+
+    let snapshot = recorder.snapshot();
+    let upsets = snapshot.counter(CounterId::FaultSeuInjected);
+    assert!(upsets > 0, "seu_rate=1.0 must inject every frame");
+    assert_eq!(
+        snapshot.counter(CounterId::ModelFallbacks),
+        upsets,
+        "every detected upset must trigger a fallback"
+    );
+    assert!((0.0..=1.0).contains(&report.dvd), "dvd {}", report.dvd);
+    assert!(report.processed_fraction > 0.0);
+}
+
+#[test]
+fn dropped_passes_shed_queue_instead_of_overflowing() {
+    // Kill most ground contacts. The mission must keep flying: dropped
+    // passes are counted, the queue sheds its lowest-density entries to
+    // absorb the lost capacity, and throughput lands strictly below the
+    // clean run's.
+    use kodan_cote::sim::ServedPass;
+    use kodan_cote::time::{Duration, Epoch};
+    use kodan_faults::{FaultConfig, FaultPlan};
+    use kodan_telemetry::{CounterId, NullRecorder, SummaryRecorder};
+
+    let runtime = {
+        let artifacts = test_artifacts();
+        let env = SpaceEnvironment::fixed(0.21);
+        let logic = artifacts.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        Runtime::new(logic, artifacts.engine.clone())
+    };
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = test_world();
+    let mission = Mission::new(&env, &world, mission_params());
+    let passes: Vec<ServedPass> = (0..10)
+        .map(|i| {
+            let start = Epoch::mission_start() + Duration::from_minutes(140.0 * i as f64);
+            ServedPass {
+                satellite: 0,
+                station: 0,
+                start,
+                end: start + Duration::from_minutes(8.0),
+                rate_bps: 2.0e8,
+            }
+        })
+        .collect();
+
+    let clean = mission.run_detailed(&runtime, &passes, 4.0e8, 100.0);
+
+    let mut config = FaultConfig::nominal(11);
+    config.contact_drop_rate = 0.7;
+    config.contact_shorten_rate = 0.5;
+    let plan = FaultPlan::new(config).expect("fault config is valid");
+    let mut recorder = SummaryRecorder::new();
+    let faulted =
+        mission.run_detailed_faulted(&runtime, &passes, 4.0e8, 100.0, Some(&plan), &mut recorder);
+
+    assert!(faulted.contacts_dropped > 0, "drop_rate=0.7 over 10 passes");
+    assert!(
+        faulted.sent_px < clean.sent_px,
+        "lost contacts must cost throughput: {} vs {}",
+        faulted.sent_px,
+        clean.sent_px
+    );
+    assert!(faulted.shed_px >= 0.0 && faulted.shed_px.is_finite());
+    let snapshot = recorder.snapshot();
+    assert_eq!(
+        snapshot.counter(CounterId::FaultContactsDropped),
+        faulted.contacts_dropped,
+        "report and telemetry must agree on dropped contacts"
+    );
+    assert_eq!(
+        snapshot.counter(CounterId::FaultContactsShortened),
+        faulted.contacts_shortened
+    );
+    // The same plan replayed is bit-identical — contact faults key on the
+    // contact index, not on anything ambient.
+    let replay =
+        mission.run_detailed_faulted(&runtime, &passes, 4.0e8, 100.0, Some(&plan), &mut NullRecorder);
+    assert_eq!(faulted, replay);
+}
+
+#[test]
+fn retry_exhaustion_degrades_tiles_to_raw_downlink() {
+    // Make every classify attempt fail. The bounded retry policy must
+    // exhaust on every tile, degrade each one to a raw downlink instead of
+    // panicking or spinning, and still close out the mission with a
+    // consistent report.
+    use kodan_faults::FaultConfig;
+    use kodan_telemetry::{CounterId, SummaryRecorder};
+
+    let mut config = FaultConfig::nominal(23);
+    config.classify_fault_rate = 1.0;
+    let runtime = faulted_runtime(config);
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = test_world();
+    let mut recorder = SummaryRecorder::new();
+    let report = Mission::new(&env, &world, mission_params()).run_with_runtime_recorded(
+        &runtime,
+        SystemKind::Kodan,
+        &mut recorder,
+    );
+
+    let snapshot = recorder.snapshot();
+    let exhausted = snapshot.counter(CounterId::FaultClassifyExhausted);
+    let observed = snapshot.counter(CounterId::TilesObserved);
+    assert!(exhausted > 0, "rate=1.0 must exhaust the retry budget");
+    assert_eq!(
+        exhausted, observed,
+        "every observed tile must exhaust and degrade"
+    );
+    assert!(snapshot.counter(CounterId::FaultClassifyRetries) > 0);
+    assert!((0.0..=1.0).contains(&report.dvd), "dvd {}", report.dvd);
+    assert!(report.processed_fraction > 0.0);
+}
+
 #[test]
 fn mission_reports_are_internally_consistent() {
     let artifacts = test_artifacts();

@@ -93,6 +93,40 @@ fn gate_covers_the_telemetry_crate() {
 }
 
 #[test]
+fn gate_covers_the_faults_crate() {
+    // The fault layer's entire contract is that schedules are pure
+    // functions of (seed, site identity). An entropy source there would
+    // silently break every byte-identical fault-injected mission, so the
+    // crate must sit inside the determinism scope. Seed a thread_rng call
+    // into a fake crates/faults tree and confirm the gate fires.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_gate_faults_fixture");
+    let src_dir = dir.join("crates/faults/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn roll() -> f64 { rand::thread_rng().gen() }\n",
+    )
+    .expect("write fixture");
+
+    let rules = default_rules();
+    let report = check(&dir, &rules).expect("fixture scan succeeds");
+    assert_eq!(report.files_scanned, 1);
+    assert_ne!(
+        report.exit_code() & 1,
+        0,
+        "determinism bit must fire, got: {:?}",
+        report.diagnostics
+    );
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule_id == "entropy"),
+        "expected an entropy diagnostic, got: {:?}",
+        report.diagnostics
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn gate_enforces_thread_discipline() {
     // All parallelism in the deterministic crates must route through
     // kodan_core::par, whose index-keyed merge keeps outputs independent
