@@ -1,0 +1,119 @@
+//! Artifact-cache warm start: ground transformation vs loading the
+//! sealed artifact set.
+//!
+//! The paper's deployment model pays the transformation cost once on the
+//! ground and uplinks only the deployable artifacts; every subsequent
+//! boot of the on-orbit software starts from those bytes. This bench
+//! measures both paths — cold (transform + select) and warm (unseal the
+//! artifact store) — verifies they produce identical mission inputs, and
+//! writes `BENCH_artifact_cache.json` at the repo root with the speedup
+//! and the encoded sizes against the modeled uplink budget.
+
+use criterion::Criterion;
+use kodan::artifact::{load_artifacts, save_artifacts};
+use kodan::mission::SpaceEnvironment;
+use kodan::pipeline::Transformation;
+use kodan_bench::{banner, bench_dataset_config, bench_kodan_config, bench_world};
+use kodan_geodata::Dataset;
+use kodan_hw::targets::HwTarget;
+use kodan_ml::zoo::ModelArch;
+use kodan_telemetry::NullRecorder;
+use kodan_wire::UPLINK_BUDGET_BYTES;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Mean wall-clock seconds per call over `reps` runs (1 warmup call).
+fn time_calls<F: FnMut() -> R, R>(reps: u32, mut body: F) -> f64 {
+    black_box(body());
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(body());
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn main() {
+    banner(
+        "Artifact cache: cold transformation vs warm artifact load",
+        "ground transform+select wall time vs unsealing the kodan-wire store (App 4, Orin 15W)",
+    );
+    let world = bench_world();
+    let dataset = Dataset::sample(&world, &bench_dataset_config());
+    let env = SpaceEnvironment::landsat(1);
+    let arch = ModelArch::ResNet50DilatedPpm;
+
+    let cold = || {
+        let artifacts = Transformation::new(bench_kodan_config())
+            .run(&dataset, arch)
+            .expect("bench transformation succeeds");
+        let logic = artifacts.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        (artifacts, logic)
+    };
+    let (artifacts, logic) = cold();
+
+    let dir: PathBuf = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bench_artifact_cache");
+    std::fs::remove_dir_all(&dir).ok();
+    let report =
+        save_artifacts(&artifacts, &logic, &dir, &mut NullRecorder).expect("save succeeds");
+
+    // Warm start must be the same deployment, bit for bit — otherwise the
+    // speedup is comparing different missions.
+    let loaded = load_artifacts(&dir, &mut NullRecorder).expect("load succeeds");
+    assert!(loaded.recovered.is_empty(), "clean store needs no recovery");
+    assert_eq!(loaded.artifacts, artifacts, "loaded artifacts diverged");
+    assert_eq!(loaded.selection, logic, "loaded selection diverged");
+
+    let mut criterion = Criterion::default();
+    criterion.bench_function("warm_artifact_load", |b| {
+        b.iter(|| load_artifacts(black_box(&dir), &mut NullRecorder).expect("load succeeds"))
+    });
+
+    const COLD_REPS: u32 = 3;
+    const WARM_REPS: u32 = 20;
+    let cold_s = time_calls(COLD_REPS, &cold);
+    let warm_s = time_calls(WARM_REPS, || {
+        load_artifacts(&dir, &mut NullRecorder).expect("load succeeds")
+    });
+    let speedup = if warm_s > 0.0 { cold_s / warm_s } else { 0.0 };
+
+    let total_bytes = report.total_bytes;
+    let model_bytes: u64 = report
+        .manifest
+        .entries
+        .iter()
+        .filter(|e| e.name.starts_with("grid"))
+        .map(|e| e.bytes)
+        .sum();
+    let budget_fraction = total_bytes as f64 / UPLINK_BUDGET_BYTES as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"artifact_cache\",\n  \"unit\": \"seconds_per_start\",\n  \"cold_reps\": {COLD_REPS},\n  \"warm_reps\": {WARM_REPS},\n  \"cold_start_s\": {cold_s:.6},\n  \"warm_start_s\": {warm_s:.6},\n  \"warm_speedup\": {speedup:.1},\n  \"artifact_count\": {count},\n  \"total_bytes\": {total_bytes},\n  \"model_bytes\": {model_bytes},\n  \"uplink_budget_bytes\": {UPLINK_BUDGET_BYTES},\n  \"budget_fraction\": {budget_fraction:.6},\n  \"loaded_equals_in_memory\": true,\n  \"note\": \"cold = transformation + selection on the bench dataset; warm = kodan-wire artifact load verified equal to the in-memory set; the warm path is what an on-orbit reboot pays\"\n}}\n",
+        count = report.manifest.entries.len(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_artifact_cache.json");
+    std::fs::write(out, &json).expect("write BENCH_artifact_cache.json");
+
+    println!();
+    println!(
+        "cold start {:.2} s  warm start {:.4} s  -> {speedup:.0}x warm speedup",
+        cold_s, warm_s
+    );
+    println!(
+        "uplink: {total_bytes} bytes across {} artifacts ({:.2}% of the {UPLINK_BUDGET_BYTES}-byte budget)",
+        report.manifest.entries.len(),
+        budget_fraction * 100.0,
+    );
+    println!("baseline written to BENCH_artifact_cache.json");
+    assert!(
+        speedup > 1.0,
+        "warm start {speedup:.2}x must beat the cold transformation"
+    );
+    assert!(!report.over_budget, "artifact set exceeds the uplink budget");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

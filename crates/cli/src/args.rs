@@ -31,6 +31,12 @@ pub struct Options {
     /// Seed for the built-in nominal fault plan (ignored when `--faults`
     /// supplies a file).
     pub fault_seed: Option<u64>,
+    /// Save the deployable artifact set (config, contexts, engine,
+    /// models, selection logic) into this directory after `transform`.
+    pub save_artifacts: Option<String>,
+    /// Load the deployable artifact set from this directory for
+    /// `mission`, skipping the ground-side transformation entirely.
+    pub load_artifacts: Option<String>,
 }
 
 impl Default for Options {
@@ -47,6 +53,8 @@ impl Default for Options {
             workers: 0,
             faults: None,
             fault_seed: None,
+            save_artifacts: None,
+            load_artifacts: None,
         }
     }
 }
@@ -82,6 +90,12 @@ impl Options {
                 "--workers" => options.workers = next_value(&mut iter, flag)?,
                 "--faults" => options.faults = Some(next_value(&mut iter, flag)?),
                 "--fault-seed" => options.fault_seed = Some(next_value(&mut iter, flag)?),
+                "--save-artifacts" => {
+                    options.save_artifacts = Some(next_value(&mut iter, flag)?);
+                }
+                "--load-artifacts" => {
+                    options.load_artifacts = Some(next_value(&mut iter, flag)?);
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -130,6 +144,7 @@ mod tests {
             "--app", "7", "--target", "gpu", "--seed", "9", "--frames", "16",
             "--contexts", "4", "--expert", "--sats", "8", "--telemetry", "out.json",
             "--workers", "4", "--faults", "plan.txt", "--fault-seed", "13",
+            "--save-artifacts", "art/", "--load-artifacts", "art2/",
         ])
         .unwrap();
         assert_eq!(o.app, ModelArch::ResNet101DilatedPpm);
@@ -143,6 +158,17 @@ mod tests {
         assert_eq!(o.workers, 4);
         assert_eq!(o.faults.as_deref(), Some("plan.txt"));
         assert_eq!(o.fault_seed, Some(13));
+        assert_eq!(o.save_artifacts.as_deref(), Some("art/"));
+        assert_eq!(o.load_artifacts.as_deref(), Some("art2/"));
+    }
+
+    #[test]
+    fn artifact_flags_default_off_and_require_paths() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.save_artifacts, None);
+        assert_eq!(o.load_artifacts, None);
+        assert!(parse(&["--save-artifacts"]).is_err());
+        assert!(parse(&["--load-artifacts"]).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@ COMMANDS:
   select      derive the selection logic for a hardware target
   mission     fly a simulated day: bent pipe vs direct deploy vs kodan
   coverage    constellation sizing for full ground-track coverage
+  artifacts   inspect PATH — verify a saved artifact directory
   help        show this text
 
 FLAGS:
@@ -44,7 +45,13 @@ FLAGS:
   --faults P     inject faults from `key = value` plan file P
                  (mission only; see kodan-faults)
   --fault-seed N inject the built-in nominal fault plan with
-                 seed N (ignored when --faults is given)";
+                 seed N (ignored when --faults is given)
+  --save-artifacts D  after transform, seal the deployable set
+                 (config, contexts, engine, models, selection)
+                 into directory D for the modeled uplink
+  --load-artifacts D  fly the mission from the artifact set in
+                 directory D instead of retraining; corrupted
+                 models degrade to the global-model fallback";
 
 fn build_dataset(options: &Options) -> (World, Dataset) {
     let world = World::new(options.seed);
@@ -204,6 +211,53 @@ pub fn transform(options: &Options) -> Result<(), String> {
         ga.global_eval_all.precision(),
         ga.composite_eval_all.precision()
     );
+    if let Some(dir) = &options.save_artifacts {
+        save_artifact_set(options, &artifacts, dir)?;
+    }
+    Ok(())
+}
+
+/// Seals the deployable set into `dir` and prints the uplink-cost
+/// accounting (`transform --save-artifacts`).
+fn save_artifact_set(
+    options: &Options,
+    artifacts: &TransformationArtifacts,
+    dir: &str,
+) -> Result<(), String> {
+    let env = SpaceEnvironment::landsat(options.sats);
+    let logic = artifacts.select_with_capacity(
+        options.target,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let mut recorder = SummaryRecorder::new();
+    let report = kodan::artifact::save_artifacts(
+        artifacts,
+        &logic,
+        std::path::Path::new(dir),
+        &mut recorder,
+    )
+    .map_err(|e| format!("failed to save artifacts to {dir}: {e}"))?;
+    let snapshot = recorder.snapshot();
+    println!(
+        "artifact set sealed to {dir} ({} artifacts):",
+        snapshot.counter(CounterId::ArtifactsSaved)
+    );
+    println!("  artifact                bytes");
+    for entry in &report.manifest.entries {
+        println!("  {:<22} {:>7}", entry.name, entry.bytes);
+    }
+    println!(
+        "  uplink cost: {} bytes ({:.1}% of the {} MiB budget){}",
+        report.total_bytes,
+        report.total_bytes as f64 / kodan_wire::UPLINK_BUDGET_BYTES as f64 * 100.0,
+        kodan_wire::UPLINK_BUDGET_BYTES / (1024 * 1024),
+        if report.over_budget {
+            " — OVER BUDGET"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 
@@ -252,9 +306,41 @@ pub fn select(options: &Options) -> Result<(), String> {
 /// `kodan mission`
 pub fn mission(options: &Options) -> Result<(), String> {
     // One recorder spans the whole kodan path: ground-side transformation
-    // plus the on-orbit mission run, so the snapshot covers both halves.
+    // (or the artifact load replacing it) plus the on-orbit mission run,
+    // so the snapshot covers both halves.
     let mut recorder = SummaryRecorder::new();
-    let (world, artifacts) = build_artifacts_recorded(options, &mut recorder)?;
+    let (world, artifacts, kodan_logic, quarantined) =
+        if let Some(dir) = &options.load_artifacts {
+            let loaded =
+                kodan::artifact::load_artifacts(std::path::Path::new(dir), &mut recorder)
+                    .map_err(|e| format!("failed to load artifacts from {dir}: {e}"))?;
+            println!(
+                "loaded artifact set from {dir} (target {}, seed {})",
+                loaded.manifest.target, loaded.manifest.seed
+            );
+            for r in &loaded.recovered {
+                println!(
+                    "  recovered {}: corrupted on load, serving the grid {} global model",
+                    r.name, r.grid
+                );
+            }
+            let world = World::new(loaded.artifacts.config.seed);
+            (
+                world,
+                loaded.artifacts,
+                loaded.selection,
+                loaded.quarantined_slots,
+            )
+        } else {
+            let (world, artifacts) = build_artifacts_recorded(options, &mut recorder)?;
+            let env = SpaceEnvironment::landsat(options.sats);
+            let logic = artifacts.select_with_capacity(
+                options.target,
+                env.frame_deadline,
+                env.capacity_fraction,
+            );
+            (world, artifacts, logic, Vec::new())
+        };
     let env = SpaceEnvironment::landsat(options.sats);
     let mission = Mission::new(&env, &world, MissionParams::default());
 
@@ -269,14 +355,10 @@ pub fn mission(options: &Options) -> Result<(), String> {
         &Runtime::new(direct_logic, artifacts.engine.clone()).with_workers(options.workers),
         SystemKind::DirectDeploy,
     );
-    let kodan_logic = artifacts.select_with_capacity(
-        options.target,
-        env.frame_deadline,
-        env.capacity_fraction,
-    );
     let fault_plan = build_fault_plan(options)?;
-    let mut kodan_runtime =
-        Runtime::new(kodan_logic, artifacts.engine.clone()).with_workers(options.workers);
+    let mut kodan_runtime = Runtime::new(kodan_logic, artifacts.engine.clone())
+        .with_workers(options.workers)
+        .with_quarantined_models(quarantined);
     if let Some(plan) = &fault_plan {
         // Degradation fallback: the selected grid's global model — the
         // one model guaranteed to cover every context.
@@ -329,6 +411,20 @@ pub fn mission(options: &Options) -> Result<(), String> {
     }
     write_telemetry(options, &snapshot)?;
     Ok(())
+}
+
+/// `kodan artifacts inspect PATH` — positional arguments, not flags, so
+/// this command is dispatched before [`Options::parse`].
+pub fn artifacts(rest: &[String]) -> Result<(), String> {
+    match rest {
+        [action, path] if action == "inspect" => {
+            let report = kodan_wire::store::inspect(std::path::Path::new(path))
+                .map_err(|e| format!("failed to inspect {path}: {e}"))?;
+            print!("{report}");
+            Ok(())
+        }
+        _ => Err("usage: kodan artifacts inspect PATH".to_string()),
+    }
 }
 
 /// `kodan coverage`

@@ -6,7 +6,9 @@
 //! kodan transform [--app 1..7] [--seed N] [--frames N]
 //! kodan select    [--app 1..7] [--target orin|i7|1070ti] [--sats N]
 //! kodan mission   [--app 1..7] [--target orin|i7|1070ti] [--sats N]
+//!                 [--load-artifacts DIR]
 //! kodan coverage  [--app 1..7] [--target orin|i7|1070ti]
+//! kodan artifacts inspect PATH
 //! ```
 //!
 //! Every subcommand is deterministic for a given `--seed`.
@@ -22,6 +24,17 @@ fn main() -> ExitCode {
         eprintln!("{}", commands::USAGE);
         return ExitCode::FAILURE;
     };
+    // `artifacts` takes positional arguments (`inspect PATH`), not the
+    // shared flag set, so it is dispatched before Options::parse.
+    if command == "artifacts" {
+        return match commands::artifacts(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match args::Options::parse(rest) {
         Ok(options) => options,
         Err(message) => {

@@ -1,0 +1,567 @@
+//! The ground→space uplink path: saving transformation artifacts into a
+//! content-addressed store and loading them on orbit without retraining.
+//!
+//! The deployable artifact set is the paper's Figure 7 hand-off: the
+//! context map, the context engine, every per-grid model, the per-grid
+//! validation statistics the selection logic was derived from, and the
+//! selection logic itself. Each artifact is sealed into a versioned,
+//! checksummed [`kodan_wire`] section and stored by content digest;
+//! total encoded bytes are the modeled uplink cost, tracked against
+//! [`kodan_wire::UPLINK_BUDGET_BYTES`].
+//!
+//! Loading is total and degrades the way the fault-injection layer
+//! does: a specialized model that fails its checksum (or decodes to
+//! something unsafe to run) is replaced by the grid's global model with
+//! the original slot's scope — the same fallback an SEU-corrupted model
+//! gets at runtime — and reported as a [`RecoveredModel`]. Corruption of
+//! the config, context map, bundle, selection logic, or a global model
+//! has no safe substitute and fails the load.
+//!
+//! This module never touches `std::fs` itself (the `io-discipline` lint
+//! rule forbids it in deterministic crates); all I/O goes through the
+//! typed [`ArtifactStore`] API.
+
+use crate::config::KodanConfig;
+use crate::context::{ContextId, ContextSet};
+use crate::engine::ContextEngine;
+use crate::pipeline::{GridArtifacts, TransformationArtifacts};
+use crate::selection::{ModelTable, SelectionLogic};
+use crate::specialize::{ModelScope, SpecializedModel};
+use kodan_ml::eval::ConfusionMatrix;
+use kodan_ml::zoo::ModelArch;
+use kodan_telemetry::{CounterId, Recorder};
+use kodan_wire::envelope::{
+    self, KIND_BUNDLE, KIND_CONFIG, KIND_CONTEXTS, KIND_MODEL, KIND_SELECTION,
+};
+use kodan_wire::{
+    ArtifactStore, Dec, Decode, Enc, Encode, Manifest, ManifestEntry, WireError,
+    UPLINK_BUDGET_BYTES,
+};
+use std::path::Path;
+
+/// FNV-1a fingerprint of a configuration's canonical encoding; stored in
+/// the manifest so a loaded artifact set can be matched to the
+/// configuration that produced it.
+pub fn config_fingerprint(config: &KodanConfig) -> u64 {
+    kodan_wire::digest::fnv1a64(&config.to_wire())
+}
+
+/// Whitespace-free manifest slug for a hardware target (manifest entry
+/// names and values are whitespace-delimited).
+fn target_slug(target: kodan_hw::targets::HwTarget) -> &'static str {
+    use kodan_hw::targets::HwTarget;
+    match target {
+        HwTarget::Gtx1070Ti => "gtx_1070_ti",
+        HwTarget::CoreI7_7800X => "core_i7_7800x",
+        HwTarget::OrinAgx15W => "orin_agx_15w",
+    }
+}
+
+/// What [`save_artifacts`] wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveReport {
+    /// The manifest as written (entries sorted by name on render).
+    pub manifest: Manifest,
+    /// Total encoded bytes across all artifacts — the modeled uplink
+    /// cost.
+    pub total_bytes: u64,
+    /// True when the artifact set exceeds the modeled uplink budget.
+    pub over_budget: bool,
+}
+
+/// Which specialized-model slot of a grid a recovery replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// The single-context model of context `c`.
+    Context(usize),
+    /// The multi-context (merged) model at position `m`.
+    Merged(usize),
+}
+
+/// One corrupted-on-load model that was replaced by its grid's global
+/// model (scope preserved), mirroring the runtime's SEU fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredModel {
+    /// Grid dimension the model belonged to.
+    pub grid: usize,
+    /// Which slot was replaced.
+    pub slot: SlotKind,
+    /// The artifact's manifest name (e.g. `grid8.ctx2`).
+    pub name: String,
+}
+
+/// Everything [`load_artifacts`] reassembled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedArtifacts {
+    /// The transformation artifacts, bit-identical to the saved ones
+    /// when nothing was corrupted.
+    pub artifacts: TransformationArtifacts,
+    /// The stored selection logic, its model table rebuilt from the
+    /// loaded grids.
+    pub selection: SelectionLogic,
+    /// Models replaced by the global-model fallback during this load.
+    pub recovered: Vec<RecoveredModel>,
+    /// Model-table indices (into `selection.models()`) now served by the
+    /// fallback; feed these to
+    /// [`crate::runtime::Runtime::with_quarantined_models`] so the
+    /// mission's telemetry accounts for them like SEU fallbacks.
+    pub quarantined_slots: Vec<usize>,
+    /// The store manifest.
+    pub manifest: Manifest,
+}
+
+/// The bundle artifact: everything target- and model-blob-independent.
+/// Models are referenced by manifest name (`grid<g>.global`,
+/// `grid<g>.ctx<c>`, `grid<g>.merged<m>`) rather than embedded, so a
+/// corrupted model blob is recoverable without re-uplinking the bundle.
+struct Bundle {
+    arch: ModelArch,
+    engine_val_agreement: f64,
+    engine: ContextEngine,
+    grids: Vec<GridSkeleton>,
+}
+
+/// A [`GridArtifacts`] with the models factored out: which context
+/// slots are populated, each merged model's scope (kept here so a
+/// corrupted merged blob can be replaced scope-intact), and the
+/// validation statistics.
+struct GridSkeleton {
+    grid: usize,
+    context_present: Vec<bool>,
+    merged_scopes: Vec<Vec<ContextId>>,
+    global_eval_per_context: Vec<ConfusionMatrix>,
+    context_model_eval: Vec<Option<ConfusionMatrix>>,
+    context_weights: Vec<f64>,
+    context_hv: Vec<f64>,
+    merged_eval: Vec<Vec<Option<ConfusionMatrix>>>,
+    global_eval_all: ConfusionMatrix,
+    composite_eval_all: ConfusionMatrix,
+}
+
+impl GridSkeleton {
+    fn of(ga: &GridArtifacts) -> Result<GridSkeleton, WireError> {
+        let merged_scopes = ga
+            .merged_models
+            .iter()
+            .map(|m| match m.scope() {
+                ModelScope::Multi(cs) => Ok(cs.clone()),
+                _ => Err(WireError::InvalidValue(
+                    "merged model without a multi-context scope",
+                )),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GridSkeleton {
+            grid: ga.grid,
+            context_present: ga.context_models.iter().map(Option::is_some).collect(),
+            merged_scopes,
+            global_eval_per_context: ga.global_eval_per_context.clone(),
+            context_model_eval: ga.context_model_eval.clone(),
+            context_weights: ga.context_weights.clone(),
+            context_hv: ga.context_hv.clone(),
+            merged_eval: ga.merged_eval.clone(),
+            global_eval_all: ga.global_eval_all,
+            composite_eval_all: ga.composite_eval_all,
+        })
+    }
+
+    /// Checks internal shape consistency against a context count.
+    fn validate(&self, k: usize) -> Result<(), WireError> {
+        let per_context_ok = self.context_present.len() == k
+            && self.global_eval_per_context.len() == k
+            && self.context_model_eval.len() == k
+            && self.context_weights.len() == k
+            && self.context_hv.len() == k;
+        let merged_ok = self.merged_eval.len() == self.merged_scopes.len()
+            && self.merged_eval.iter().all(|e| e.len() == k);
+        if self.grid == 0 || !per_context_ok || !merged_ok {
+            return Err(WireError::InvalidValue("grid skeleton shape mismatch"));
+        }
+        Ok(())
+    }
+}
+
+impl Encode for GridSkeleton {
+    fn encode(&self, enc: &mut Enc) {
+        enc.usize(self.grid);
+        self.context_present.encode(enc);
+        self.merged_scopes.encode(enc);
+        self.global_eval_per_context.encode(enc);
+        self.context_model_eval.encode(enc);
+        self.context_weights.encode(enc);
+        self.context_hv.encode(enc);
+        self.merged_eval.encode(enc);
+        self.global_eval_all.encode(enc);
+        self.composite_eval_all.encode(enc);
+    }
+}
+
+impl Decode for GridSkeleton {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(GridSkeleton {
+            grid: dec.usize()?,
+            context_present: Vec::<bool>::decode(dec)?,
+            merged_scopes: Vec::<Vec<ContextId>>::decode(dec)?,
+            global_eval_per_context: Vec::<ConfusionMatrix>::decode(dec)?,
+            context_model_eval: Vec::<Option<ConfusionMatrix>>::decode(dec)?,
+            context_weights: Vec::<f64>::decode(dec)?,
+            context_hv: Vec::<f64>::decode(dec)?,
+            merged_eval: Vec::<Vec<Option<ConfusionMatrix>>>::decode(dec)?,
+            global_eval_all: ConfusionMatrix::decode(dec)?,
+            composite_eval_all: ConfusionMatrix::decode(dec)?,
+        })
+    }
+}
+
+impl Encode for Bundle {
+    fn encode(&self, enc: &mut Enc) {
+        self.arch.encode(enc);
+        enc.f64(self.engine_val_agreement);
+        self.engine.encode(enc);
+        self.grids.encode(enc);
+    }
+}
+
+impl Decode for Bundle {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        let bundle = Bundle {
+            arch: ModelArch::decode(dec)?,
+            engine_val_agreement: dec.f64()?,
+            engine: ContextEngine::decode(dec)?,
+            grids: Vec::<GridSkeleton>::decode(dec)?,
+        };
+        if bundle.grids.is_empty() {
+            return Err(WireError::InvalidValue("bundle without grids"));
+        }
+        Ok(bundle)
+    }
+}
+
+fn model_name(grid: usize, slot: Option<SlotKind>) -> String {
+    match slot {
+        None => format!("grid{grid}.global"),
+        Some(SlotKind::Context(c)) => format!("grid{grid}.ctx{c}"),
+        Some(SlotKind::Merged(m)) => format!("grid{grid}.merged{m}"),
+    }
+}
+
+/// Seals and stores the full deployable artifact set for one deployment
+/// (transformation artifacts plus the selection logic derived for the
+/// target), writes the manifest, and accounts the modeled uplink cost on
+/// `recorder` (`ArtifactsSaved`, `ArtifactBytes`).
+///
+/// # Errors
+///
+/// Fails on I/O errors, or if `selection` does not belong to
+/// `artifacts` (its grid is absent or its model table was not built by
+/// [`SelectionLogic::build`] over these artifacts).
+pub fn save_artifacts(
+    artifacts: &TransformationArtifacts,
+    selection: &SelectionLogic,
+    dir: &Path,
+    recorder: &mut dyn Recorder,
+) -> Result<SaveReport, WireError> {
+    let k = artifacts.contexts.len();
+    let ga = artifacts
+        .grids
+        .iter()
+        .find(|g| g.grid == selection.grid())
+        .ok_or(WireError::InvalidValue(
+            "selection grid absent from artifacts",
+        ))?;
+    let table = ModelTable::for_grid(ga, k);
+    if table.models != selection.models() {
+        return Err(WireError::InvalidValue(
+            "selection model table does not match its grid artifacts",
+        ));
+    }
+
+    let store = ArtifactStore::create(dir)?;
+    let mut entries: Vec<ManifestEntry> = Vec::new();
+    let put = |store: &ArtifactStore,
+                   entries: &mut Vec<ManifestEntry>,
+                   recorder: &mut dyn Recorder,
+                   name: String,
+                   kind: u16,
+                   payload: &[u8]|
+     -> Result<(), WireError> {
+        let sealed = envelope::seal(kind, payload);
+        let entry = store.put(&name, &sealed)?;
+        recorder.count(CounterId::ArtifactsSaved, 1);
+        recorder.count(CounterId::ArtifactBytes, sealed.len() as u64);
+        entries.push(entry);
+        Ok(())
+    };
+
+    put(
+        &store,
+        &mut entries,
+        recorder,
+        "config".to_string(),
+        KIND_CONFIG,
+        &artifacts.config.to_wire(),
+    )?;
+    put(
+        &store,
+        &mut entries,
+        recorder,
+        "contexts".to_string(),
+        KIND_CONTEXTS,
+        &artifacts.contexts.to_wire(),
+    )?;
+    let bundle = Bundle {
+        arch: artifacts.arch,
+        engine_val_agreement: artifacts.engine_val_agreement,
+        engine: artifacts.engine.clone(),
+        grids: artifacts
+            .grids
+            .iter()
+            .map(GridSkeleton::of)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    put(
+        &store,
+        &mut entries,
+        recorder,
+        "bundle".to_string(),
+        KIND_BUNDLE,
+        &bundle.to_wire(),
+    )?;
+    for ga in &artifacts.grids {
+        put(
+            &store,
+            &mut entries,
+            recorder,
+            model_name(ga.grid, None),
+            KIND_MODEL,
+            &ga.global_model.to_wire(),
+        )?;
+        for (c, m) in ga.context_models.iter().enumerate() {
+            if let Some(m) = m {
+                put(
+                    &store,
+                    &mut entries,
+                    recorder,
+                    model_name(ga.grid, Some(SlotKind::Context(c))),
+                    KIND_MODEL,
+                    &m.to_wire(),
+                )?;
+            }
+        }
+        for (i, m) in ga.merged_models.iter().enumerate() {
+            put(
+                &store,
+                &mut entries,
+                recorder,
+                model_name(ga.grid, Some(SlotKind::Merged(i))),
+                KIND_MODEL,
+                &m.to_wire(),
+            )?;
+        }
+    }
+    let mut enc = Enc::new();
+    selection.encode_policy(&mut enc);
+    put(
+        &store,
+        &mut entries,
+        recorder,
+        "selection".to_string(),
+        KIND_SELECTION,
+        enc.as_bytes(),
+    )?;
+
+    let manifest = Manifest {
+        target: target_slug(selection.target()).to_string(),
+        seed: artifacts.config.seed,
+        config_fingerprint: config_fingerprint(&artifacts.config),
+        entries,
+    };
+    store.write_manifest(&manifest)?;
+    let total_bytes = manifest.total_bytes();
+    Ok(SaveReport {
+        manifest,
+        total_bytes,
+        over_budget: total_bytes > UPLINK_BUDGET_BYTES,
+    })
+}
+
+/// Reads one named artifact, verifying its content digest, envelope
+/// checksum and kind.
+fn read_payload(
+    store: &ArtifactStore,
+    manifest: &Manifest,
+    name: &str,
+    kind: u16,
+) -> Result<Vec<u8>, WireError> {
+    let entry = manifest
+        .entry(name)
+        .ok_or_else(|| WireError::Store(format!("manifest has no `{name}` artifact")))?;
+    let bytes = store.read(entry)?;
+    Ok(envelope::open(&bytes, kind)?.to_vec())
+}
+
+/// Loads a saved artifact set, reassembling the transformation artifacts
+/// and the stored selection logic without any retraining.
+///
+/// Specialized-model blobs that fail verification are replaced by the
+/// grid's global model (scope preserved) and counted on `recorder` as
+/// `ArtifactsRecovered`; config, contexts, bundle, selection and global
+/// models have no safe substitute and fail the load instead.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a malformed manifest, or corruption of an
+/// unrecoverable artifact.
+pub fn load_artifacts(
+    dir: &Path,
+    recorder: &mut dyn Recorder,
+) -> Result<LoadedArtifacts, WireError> {
+    let store = ArtifactStore::open(dir)?;
+    let manifest = store.manifest()?;
+
+    let config_payload = read_payload(&store, &manifest, "config", KIND_CONFIG)?;
+    let config = KodanConfig::from_wire(&config_payload)?;
+    if kodan_wire::digest::fnv1a64(&config_payload) != manifest.config_fingerprint {
+        return Err(WireError::Store(
+            "config does not match the manifest fingerprint".to_string(),
+        ));
+    }
+    let contexts =
+        ContextSet::from_wire(&read_payload(&store, &manifest, "contexts", KIND_CONTEXTS)?)?;
+    let bundle = Bundle::from_wire(&read_payload(&store, &manifest, "bundle", KIND_BUNDLE)?)?;
+    let k = contexts.len();
+    for skeleton in &bundle.grids {
+        skeleton.validate(k)?;
+    }
+
+    let mut recovered = Vec::new();
+    let mut grids = Vec::with_capacity(bundle.grids.len());
+    for skeleton in &bundle.grids {
+        let grid = skeleton.grid;
+        let global_name = model_name(grid, None);
+        let global_model = SpecializedModel::from_wire(&read_payload(
+            &store, &manifest, &global_name, KIND_MODEL,
+        )?)?;
+        if *global_model.scope() != ModelScope::Global {
+            return Err(WireError::InvalidValue("global model blob has a narrow scope"));
+        }
+
+        // A specialized model that fails any check falls back to the
+        // grid's global model under the original slot's scope — the same
+        // degradation an SEU-corrupted model gets at runtime.
+        let recover = |slot: SlotKind,
+                           name: String,
+                           expected_scope: ModelScope,
+                           recovered: &mut Vec<RecoveredModel>,
+                           recorder: &mut dyn Recorder|
+         -> SpecializedModel {
+            recorder.count(CounterId::ArtifactsRecovered, 1);
+            recovered.push(RecoveredModel { grid, slot, name });
+            global_model.rescoped(expected_scope)
+        };
+
+        let mut context_models = Vec::with_capacity(k);
+        for (c, present) in skeleton.context_present.iter().enumerate() {
+            if !*present {
+                context_models.push(None);
+                continue;
+            }
+            let name = model_name(grid, Some(SlotKind::Context(c)));
+            let expected = ModelScope::Context(ContextId(c));
+            let model = match read_payload(&store, &manifest, &name, KIND_MODEL)
+                .and_then(|p| SpecializedModel::from_wire(&p))
+            {
+                Ok(m) if *m.scope() == expected => m,
+                _ => recover(
+                    SlotKind::Context(c),
+                    name,
+                    expected,
+                    &mut recovered,
+                    recorder,
+                ),
+            };
+            context_models.push(Some(model));
+        }
+
+        let mut merged_models = Vec::with_capacity(skeleton.merged_scopes.len());
+        for (i, scope_contexts) in skeleton.merged_scopes.iter().enumerate() {
+            let name = model_name(grid, Some(SlotKind::Merged(i)));
+            let expected = ModelScope::Multi(scope_contexts.clone());
+            let model = match read_payload(&store, &manifest, &name, KIND_MODEL)
+                .and_then(|p| SpecializedModel::from_wire(&p))
+            {
+                Ok(m) if *m.scope() == expected => m,
+                _ => recover(
+                    SlotKind::Merged(i),
+                    name,
+                    expected,
+                    &mut recovered,
+                    recorder,
+                ),
+            };
+            merged_models.push(model);
+        }
+
+        grids.push(GridArtifacts {
+            grid,
+            global_model,
+            context_models,
+            global_eval_per_context: skeleton.global_eval_per_context.clone(),
+            context_model_eval: skeleton.context_model_eval.clone(),
+            context_weights: skeleton.context_weights.clone(),
+            context_hv: skeleton.context_hv.clone(),
+            merged_models,
+            merged_eval: skeleton.merged_eval.clone(),
+            global_eval_all: skeleton.global_eval_all,
+            composite_eval_all: skeleton.composite_eval_all,
+        });
+    }
+
+    let artifacts = TransformationArtifacts {
+        config,
+        arch: bundle.arch,
+        contexts,
+        engine: bundle.engine,
+        engine_val_agreement: bundle.engine_val_agreement,
+        grids,
+    };
+
+    let policy = read_payload(&store, &manifest, "selection", KIND_SELECTION)?;
+    // The policy's grid sits third in its encoding (after two u16 tags);
+    // probe it first so the model table can be rebuilt before decoding.
+    let grid = {
+        let mut probe = Dec::new(&policy);
+        probe.u16()?;
+        probe.u16()?;
+        probe.usize()?
+    };
+    let ga = artifacts
+        .grids
+        .iter()
+        .find(|g| g.grid == grid)
+        .ok_or(WireError::InvalidValue("selection grid absent from bundle"))?;
+    let table = ModelTable::for_grid(ga, k);
+    let context_slot = table.context_model_index;
+    let merged_slot = table.merged_model_index;
+    let mut dec = Dec::new(&policy);
+    let selection = SelectionLogic::decode_policy(&mut dec, table.models)?;
+    dec.finish()?;
+
+    let mut quarantined_slots: Vec<usize> = recovered
+        .iter()
+        .filter(|r| r.grid == grid)
+        .filter_map(|r| match r.slot {
+            SlotKind::Context(c) => context_slot.get(c).copied().flatten(),
+            SlotKind::Merged(m) => merged_slot.get(m).copied(),
+        })
+        .collect();
+    quarantined_slots.sort_unstable();
+    quarantined_slots.dedup();
+
+    Ok(LoadedArtifacts {
+        artifacts,
+        selection,
+        recovered,
+        quarantined_slots,
+        manifest,
+    })
+}

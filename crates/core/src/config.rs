@@ -130,6 +130,71 @@ impl Default for KodanConfig {
     }
 }
 
+impl kodan_wire::Encode for ContextGenerationKind {
+    fn encode(&self, enc: &mut kodan_wire::Enc) {
+        match self {
+            ContextGenerationKind::Auto => enc.u16(0),
+            ContextGenerationKind::Expert => enc.u16(1),
+            ContextGenerationKind::AutoSweep { max_contexts } => {
+                enc.u16(2);
+                enc.usize(*max_contexts);
+            }
+        }
+    }
+}
+
+impl kodan_wire::Decode for ContextGenerationKind {
+    fn decode(dec: &mut kodan_wire::Dec<'_>) -> Result<Self, kodan_wire::WireError> {
+        match dec.u16()? {
+            0 => Ok(ContextGenerationKind::Auto),
+            1 => Ok(ContextGenerationKind::Expert),
+            2 => Ok(ContextGenerationKind::AutoSweep {
+                max_contexts: dec.usize()?,
+            }),
+            tag => Err(kodan_wire::WireError::BadTag {
+                what: "ContextGenerationKind",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl kodan_wire::Encode for KodanConfig {
+    fn encode(&self, enc: &mut kodan_wire::Enc) {
+        enc.u64(self.seed);
+        self.tile_grids.encode(enc);
+        self.generation.encode(enc);
+        enc.usize(self.context_count);
+        self.metric.encode(enc);
+        self.transform.encode(enc);
+        self.train.encode(enc);
+        enc.usize(self.max_train_pixels);
+        enc.usize(self.max_eval_tiles);
+        enc.f64(self.train_fraction);
+        enc.bool(self.augment);
+        enc.usize(self.workers);
+    }
+}
+
+impl kodan_wire::Decode for KodanConfig {
+    fn decode(dec: &mut kodan_wire::Dec<'_>) -> Result<Self, kodan_wire::WireError> {
+        Ok(KodanConfig {
+            seed: dec.u64()?,
+            tile_grids: <[usize; 4]>::decode(dec)?,
+            generation: ContextGenerationKind::decode(dec)?,
+            context_count: dec.usize()?,
+            metric: DistanceMetric::decode(dec)?,
+            transform: TransformKind::decode(dec)?,
+            train: TrainConfig::decode(dec)?,
+            max_train_pixels: dec.usize()?,
+            max_eval_tiles: dec.usize()?,
+            train_fraction: dec.f64()?,
+            augment: dec.bool()?,
+            workers: dec.usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,7 @@ use kodan_geodata::tile::{TileImage, LABEL_DIM};
 use kodan_ml::kmeans::KMeans;
 use kodan_ml::metrics::DistanceMetric;
 use kodan_ml::transform::{FittedTransform, TransformKind};
+use kodan_wire::{Dec, Decode, Enc, Encode, WireError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -228,6 +229,122 @@ fn summarize(tiles: &[TileImage], assignments: &[usize], k: usize) -> Vec<Contex
             }
         })
         .collect()
+}
+
+impl Encode for ContextId {
+    fn encode(&self, enc: &mut Enc) {
+        enc.usize(self.0);
+    }
+}
+
+impl Decode for ContextId {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(ContextId(dec.usize()?))
+    }
+}
+
+impl Encode for Context {
+    fn encode(&self, enc: &mut Enc) {
+        self.id.encode(enc);
+        enc.usize(self.tile_count);
+        enc.f64(self.weight);
+        enc.f64(self.high_value_fraction);
+        enc.str(&self.description);
+    }
+}
+
+impl Decode for Context {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(Context {
+            id: ContextId::decode(dec)?,
+            tile_count: dec.usize()?,
+            weight: dec.f64()?,
+            high_value_fraction: dec.f64()?,
+            description: dec.string()?,
+        })
+    }
+}
+
+impl Encode for ContextGeneration {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            ContextGeneration::Auto { k, metric } => {
+                enc.u16(0);
+                enc.usize(*k);
+                metric.encode(enc);
+            }
+            ContextGeneration::Expert => enc.u16(1),
+        }
+    }
+}
+
+impl Decode for ContextGeneration {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        match dec.u16()? {
+            0 => Ok(ContextGeneration::Auto {
+                k: dec.usize()?,
+                metric: DistanceMetric::decode(dec)?,
+            }),
+            1 => Ok(ContextGeneration::Expert),
+            tag => Err(WireError::BadTag {
+                what: "ContextGeneration",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl Encode for AutoPartition {
+    fn encode(&self, enc: &mut Enc) {
+        self.transform.encode(enc);
+        self.kmeans.encode(enc);
+    }
+}
+
+impl Decode for AutoPartition {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(AutoPartition {
+            transform: FittedTransform::decode(dec)?,
+            kmeans: KMeans::decode(dec)?,
+        })
+    }
+}
+
+impl Encode for ContextSet {
+    fn encode(&self, enc: &mut Enc) {
+        self.contexts.encode(enc);
+        self.generation.encode(enc);
+        self.auto.encode(enc);
+        self.expert_map.encode(enc);
+    }
+}
+
+impl Decode for ContextSet {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        let contexts = Vec::<Context>::decode(dec)?;
+        let generation = ContextGeneration::decode(dec)?;
+        let auto = Option::<AutoPartition>::decode(dec)?;
+        let expert_map = Option::<[usize; 8]>::decode(dec)?;
+        // `classify_truth` relies on exactly the representation its
+        // generation implies being present.
+        let consistent = match generation {
+            ContextGeneration::Auto { k, .. } => {
+                auto.is_some() && expert_map.is_none() && contexts.len() == k
+            }
+            ContextGeneration::Expert => auto.is_none() && expert_map.is_some(),
+        };
+        if !consistent || contexts.is_empty() {
+            return Err(WireError::InvalidValue(
+                "context set representation does not match its generation",
+            ));
+        }
+        Ok(ContextSet {
+            contexts,
+            generation,
+            auto,
+            expert_map,
+        })
+    }
 }
 
 #[cfg(test)]

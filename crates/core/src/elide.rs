@@ -110,6 +110,35 @@ impl ActionOutcome {
     }
 }
 
+impl kodan_wire::Encode for Action {
+    fn encode(&self, enc: &mut kodan_wire::Enc) {
+        match self {
+            Action::Discard => enc.u16(0),
+            Action::Downlink => enc.u16(1),
+            Action::Process { model_index } => {
+                enc.u16(2);
+                enc.usize(*model_index);
+            }
+        }
+    }
+}
+
+impl kodan_wire::Decode for Action {
+    fn decode(dec: &mut kodan_wire::Dec<'_>) -> Result<Self, kodan_wire::WireError> {
+        match dec.u16()? {
+            0 => Ok(Action::Discard),
+            1 => Ok(Action::Downlink),
+            2 => Ok(Action::Process {
+                model_index: dec.usize()?,
+            }),
+            tag => Err(kodan_wire::WireError::BadTag {
+                what: "Action",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -241,6 +241,34 @@ impl EngineKind {
     }
 }
 
+impl kodan_wire::Encode for ContextEngine {
+    fn encode(&self, enc: &mut kodan_wire::Enc) {
+        self.scaler.encode(enc);
+        self.centroids.encode(enc);
+        enc.f64(self.train_agreement);
+    }
+}
+
+impl kodan_wire::Decode for ContextEngine {
+    fn decode(dec: &mut kodan_wire::Dec<'_>) -> Result<Self, kodan_wire::WireError> {
+        let scaler = FittedTransform::decode(dec)?;
+        let centroids = Vec::<Vec<f64>>::decode(dec)?;
+        let train_agreement = dec.f64()?;
+        if centroids.is_empty()
+            || centroids.iter().any(|c| c.len() != RUNTIME_FEATURE_DIM)
+        {
+            return Err(kodan_wire::WireError::InvalidValue(
+                "context engine centroid shape",
+            ));
+        }
+        Ok(ContextEngine {
+            scaler,
+            centroids,
+            train_agreement,
+        })
+    }
+}
+
 impl From<ContextEngine> for EngineKind {
     fn from(engine: ContextEngine) -> EngineKind {
         EngineKind::Learned(engine)

@@ -22,7 +22,10 @@
 //! the on-orbit runtime ([`runtime`]) executes it per tile, and
 //! [`mission`] simulates full day-scale deployments against the `cote`
 //! space-segment model to measure DVD ([`dvd`]) and constellation sizing
-//! ([`coverage`]).
+//! ([`coverage`]). The [`artifact`] module seals the deployable set —
+//! context map, engine, models, selection logic — into `kodan-wire`
+//! sections for the modeled ground→space uplink and loads them back
+//! without retraining.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@
 
 use std::fmt;
 
+pub mod artifact;
 pub mod config;
 pub mod context;
 pub mod coverage;

@@ -121,6 +121,11 @@ pub struct Runtime {
     latency: LatencyModel,
     workers: usize,
     faults: Option<FaultInjection>,
+    /// Model-table slots whose artifact was corrupted on load and
+    /// replaced by the global fallback (see [`crate::artifact`]). The
+    /// substitution already happened in the table; this list only drives
+    /// the per-frame fallback telemetry.
+    quarantined: Vec<usize>,
 }
 
 impl Runtime {
@@ -136,7 +141,23 @@ impl Runtime {
             latency,
             workers: par::resolve_workers(0),
             faults: None,
+            quarantined: Vec::new(),
         }
+    }
+
+    /// Marks model-table slots that the artifact loader already replaced
+    /// with the global fallback after load-time corruption (see
+    /// [`crate::artifact::LoadedArtifacts::quarantined_slots`]). Each
+    /// frame reports one `ModelFallbacks` count and one
+    /// `FaultRecovered(ModelFallback)` event per quarantined slot —
+    /// exactly what a runtime-detected SEU corruption of that slot would
+    /// report. An empty list (the clean-load path) changes nothing.
+    pub fn with_quarantined_models(mut self, mut slots: Vec<usize>) -> Runtime {
+        slots.sort_unstable();
+        slots.dedup();
+        slots.retain(|&s| s < self.logic.models().len());
+        self.quarantined = slots;
+        self
     }
 
     /// Arms a fault plan against this runtime and installs the global
@@ -291,6 +312,16 @@ impl Runtime {
                 }
             }
         }
+        // Load-time quarantined slots are already served by substituted
+        // fallback models; account for them here the way the SEU path
+        // above accounts for a runtime-detected corruption.
+        for _ in &self.quarantined {
+            recorder.count(CounterId::ModelFallbacks, 1);
+            recorder.event(TelemetryEvent::FaultRecovered {
+                kind: RecoveryKind::ModelFallback,
+            });
+        }
+
         let retry_budget = injection.map_or(0, |f| f.plan.config().classify_retries);
         let backoff_base_s = injection.map_or(0.0, |f| f.plan.config().retry_backoff_s);
 

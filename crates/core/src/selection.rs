@@ -14,12 +14,13 @@
 //! bottleneck, spend idle time on precision otherwise.
 
 use crate::elide::{Action, ActionOutcome};
-use crate::pipeline::TransformationArtifacts;
+use crate::pipeline::{GridArtifacts, TransformationArtifacts};
 use crate::specialize::SpecializedModel;
 use kodan_cote::time::Duration;
 use kodan_hw::latency::LatencyModel;
 use kodan_hw::targets::HwTarget;
 use kodan_ml::zoo::ModelArch;
+use kodan_wire::{Dec, Decode, Enc, Encode, WireError};
 use serde::{Deserialize, Serialize};
 
 /// Downlink capacity as a fraction of observed data, used when the
@@ -182,22 +183,11 @@ impl SelectionLogic {
                 continue;
             }
             let k = artifacts.contexts.len();
-            // Candidate models for this grid: index 0 is the global
-            // model, then single-context models, then multi-context
-            // (merged) models.
-            let mut models = vec![ga.global_model.clone()];
-            let mut context_model_index = vec![None; k];
-            for (c, m) in ga.context_models.iter().enumerate() {
-                if let Some(m) = m {
-                    context_model_index[c] = Some(models.len());
-                    models.push(m.clone());
-                }
-            }
-            let mut merged_model_index = Vec::with_capacity(ga.merged_models.len());
-            for m in &ga.merged_models {
-                merged_model_index.push(models.len());
-                models.push(m.clone());
-            }
+            let ModelTable {
+                models,
+                context_model_index,
+                merged_model_index,
+            } = ModelTable::for_grid(ga, k);
 
             // Per-context action options, filtered by the technique set.
             let options: Vec<Vec<ActionOutcome>> = (0..k)
@@ -417,6 +407,144 @@ impl SelectionLogic {
     /// The optimizer's estimate of deployed behavior.
     pub fn estimate(&self) -> &SelectionEstimate {
         &self.estimate
+    }
+
+    /// Encodes everything except the model table. Models ship as
+    /// separate content-addressed artifacts (see [`crate::artifact`]);
+    /// the policy references them only by table position, so the table
+    /// is rebuilt at load time with [`ModelTable::for_grid`] and passed
+    /// to [`SelectionLogic::decode_policy`].
+    pub(crate) fn encode_policy(&self, enc: &mut Enc) {
+        self.arch.encode(enc);
+        enc.u16(self.target.index() as u16);
+        enc.usize(self.grid);
+        self.actions.encode(enc);
+        enc.usize(self.models.len());
+        enc.f64(self.deadline.as_seconds());
+        enc.f64(self.capacity_fraction);
+        self.estimate.encode(enc);
+    }
+
+    /// Decodes a policy encoded by [`SelectionLogic::encode_policy`],
+    /// re-attaching a freshly rebuilt model table. Validates everything
+    /// the runtime indexes into, so a decoded policy is panic-free to
+    /// run: the table length must match the encoded one and every
+    /// `Process` action must point inside it.
+    pub(crate) fn decode_policy(
+        dec: &mut Dec<'_>,
+        models: Vec<SpecializedModel>,
+    ) -> Result<SelectionLogic, WireError> {
+        let arch = ModelArch::decode(dec)?;
+        let target_tag = dec.u16()?;
+        let target = HwTarget::ALL
+            .get(usize::from(target_tag))
+            .copied()
+            .ok_or(WireError::BadTag {
+                what: "HwTarget",
+                tag: u32::from(target_tag),
+            })?;
+        let grid = dec.usize()?;
+        let actions = Vec::<Action>::decode(dec)?;
+        let model_count = dec.usize()?;
+        let deadline = Duration::from_seconds(dec.f64()?);
+        let capacity_fraction = dec.f64()?;
+        let estimate = SelectionEstimate::decode(dec)?;
+        if grid == 0 || actions.is_empty() {
+            return Err(WireError::InvalidValue("selection logic without a policy"));
+        }
+        if model_count != models.len() {
+            return Err(WireError::InvalidValue(
+                "selection logic model table size mismatch",
+            ));
+        }
+        if actions.iter().any(|a| {
+            matches!(a, Action::Process { model_index } if *model_index >= models.len())
+        }) {
+            return Err(WireError::InvalidValue(
+                "selection action references a missing model",
+            ));
+        }
+        if !(deadline.as_seconds().is_finite() && deadline.as_seconds() > 0.0) {
+            return Err(WireError::InvalidValue("selection deadline not positive"));
+        }
+        if !(capacity_fraction.is_finite()
+            && capacity_fraction > 0.0
+            && capacity_fraction <= 1.0)
+        {
+            return Err(WireError::InvalidValue(
+                "selection capacity fraction out of range",
+            ));
+        }
+        Ok(SelectionLogic {
+            arch,
+            target,
+            grid,
+            actions,
+            models,
+            deadline,
+            capacity_fraction,
+            estimate,
+        })
+    }
+}
+
+/// The candidate-model table of one grid: index 0 is the global model,
+/// then single-context models in context order, then multi-context
+/// (merged) models. Both the optimizer and the artifact loader build
+/// tables through this one constructor, so a policy's `Process` indices
+/// mean the same thing on the ground and after an uplink.
+pub(crate) struct ModelTable {
+    /// The table itself.
+    pub models: Vec<SpecializedModel>,
+    /// Per-context table position of that context's specialized model.
+    pub context_model_index: Vec<Option<usize>>,
+    /// Table position of each merged model, in `merged_models` order.
+    pub merged_model_index: Vec<usize>,
+}
+
+impl ModelTable {
+    /// Builds the canonical model table for a grid with `k` contexts.
+    pub fn for_grid(ga: &GridArtifacts, k: usize) -> ModelTable {
+        let mut models = vec![ga.global_model.clone()];
+        let mut context_model_index = vec![None; k];
+        for (c, m) in ga.context_models.iter().enumerate().take(k) {
+            if let Some(m) = m {
+                context_model_index[c] = Some(models.len());
+                models.push(m.clone());
+            }
+        }
+        let mut merged_model_index = Vec::with_capacity(ga.merged_models.len());
+        for m in &ga.merged_models {
+            merged_model_index.push(models.len());
+            models.push(m.clone());
+        }
+        ModelTable {
+            models,
+            context_model_index,
+            merged_model_index,
+        }
+    }
+}
+
+impl Encode for SelectionEstimate {
+    fn encode(&self, enc: &mut Enc) {
+        enc.f64(self.frame_time.as_seconds());
+        enc.f64(self.processed_fraction);
+        enc.f64(self.sent_fraction);
+        enc.f64(self.value_fraction);
+        enc.f64(self.dvd);
+    }
+}
+
+impl Decode for SelectionEstimate {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(SelectionEstimate {
+            frame_time: Duration::from_seconds(dec.f64()?),
+            processed_fraction: dec.f64()?,
+            sent_fraction: dec.f64()?,
+            value_fraction: dec.f64()?,
+            dvd: dec.f64()?,
+        })
     }
 }
 

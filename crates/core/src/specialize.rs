@@ -220,6 +220,98 @@ impl SpecializedModel {
     pub fn corrupt_weight_bit(&mut self, index: u64, bit: u32) {
         self.classifier.flip_weight_bit(index, bit);
     }
+
+    /// A copy of this model re-labelled with a different scope. Used by
+    /// the artifact loader to stand a grid's global model in for a
+    /// corrupted specialized model while keeping the original slot's
+    /// scope (so action routing is unchanged).
+    pub(crate) fn rescoped(&self, scope: ModelScope) -> SpecializedModel {
+        let mut clone = self.clone();
+        clone.scope = scope;
+        clone
+    }
+}
+
+impl kodan_wire::Encode for ModelScope {
+    fn encode(&self, enc: &mut kodan_wire::Enc) {
+        match self {
+            ModelScope::Global => enc.u16(0),
+            ModelScope::Context(c) => {
+                enc.u16(1);
+                c.encode(enc);
+            }
+            ModelScope::Multi(cs) => {
+                enc.u16(2);
+                cs.encode(enc);
+            }
+        }
+    }
+}
+
+impl kodan_wire::Decode for ModelScope {
+    fn decode(dec: &mut kodan_wire::Dec<'_>) -> Result<Self, kodan_wire::WireError> {
+        match dec.u16()? {
+            0 => Ok(ModelScope::Global),
+            1 => Ok(ModelScope::Context(ContextId::decode(dec)?)),
+            2 => {
+                let cs = Vec::<ContextId>::decode(dec)?;
+                if cs.is_empty() {
+                    return Err(kodan_wire::WireError::InvalidValue(
+                        "multi-context scope without contexts",
+                    ));
+                }
+                Ok(ModelScope::Multi(cs))
+            }
+            tag => Err(kodan_wire::WireError::BadTag {
+                what: "ModelScope",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl kodan_wire::Encode for SpecializedModel {
+    fn encode(&self, enc: &mut kodan_wire::Enc) {
+        self.arch.encode(enc);
+        self.scope.encode(enc);
+        self.classifier.encode(enc);
+        enc.usize(self.feature_budget);
+        enc.usize(self.input_resolution);
+        enc.f64(self.ops_ratio);
+    }
+}
+
+impl kodan_wire::Decode for SpecializedModel {
+    fn decode(dec: &mut kodan_wire::Dec<'_>) -> Result<Self, kodan_wire::WireError> {
+        use kodan_ml::PixelClassifier;
+        let arch = ModelArch::decode(dec)?;
+        let scope = ModelScope::decode(dec)?;
+        let classifier = Mlp::decode(dec)?;
+        let feature_budget = dec.usize()?;
+        let input_resolution = dec.usize()?;
+        let ops_ratio = dec.f64()?;
+        // `predict_tile` slices `feature_budget` features out of each
+        // FEATURE_DIM-strided row and resizes to `input_resolution`;
+        // these bounds make the loaded model panic-free to run.
+        if feature_budget == 0
+            || feature_budget > FEATURE_DIM
+            || classifier.input_dim() != feature_budget
+            || input_resolution == 0
+            || !(ops_ratio.is_finite() && ops_ratio > 0.0 && ops_ratio <= 1.0)
+        {
+            return Err(kodan_wire::WireError::InvalidValue(
+                "specialized model metadata out of bounds",
+            ));
+        }
+        Ok(SpecializedModel {
+            arch,
+            scope,
+            classifier,
+            feature_budget,
+            input_resolution,
+            ops_ratio,
+        })
+    }
 }
 
 /// Extracts the full per-pixel feature matrix of a tile at a given model

@@ -102,12 +102,13 @@ impl ScopedRule {
     }
 }
 
-/// The seven crates whose artifacts must be bit-reproducible. The
+/// The eight crates whose artifacts must be bit-reproducible. The
 /// telemetry crate is here by construction: its snapshots are asserted
 /// byte-identical across runs, so wall-clock reads would break them.
 /// The faults crate doubly so: its whole contract is that fault
-/// schedules are pure functions of the seed.
-const DETERMINISTIC_CRATES: [&str; 7] = [
+/// schedules are pure functions of the seed. The wire crate's entire
+/// purpose is canonical bytes, so it inherits every determinism rule.
+const DETERMINISTIC_CRATES: [&str; 8] = [
     "crates/core/src/",
     "crates/cote/src/",
     "crates/geodata/src/",
@@ -115,6 +116,7 @@ const DETERMINISTIC_CRATES: [&str; 7] = [
     "crates/hw/src/",
     "crates/telemetry/src/",
     "crates/faults/src/",
+    "crates/wire/src/",
 ];
 
 /// The on-orbit runtime path: code that executes per-tile on the
@@ -128,7 +130,7 @@ const RUNTIME_PATH_FILES: [&str; 5] = [
 ];
 
 /// Library-crate roots that must carry the hygiene attributes.
-const LIBRARY_CRATE_ROOTS: [&str; 10] = [
+const LIBRARY_CRATE_ROOTS: [&str; 11] = [
     "crates/core/src/lib.rs",
     "crates/cote/src/lib.rs",
     "crates/geodata/src/lib.rs",
@@ -138,6 +140,7 @@ const LIBRARY_CRATE_ROOTS: [&str; 10] = [
     "crates/lint/src/lib.rs",
     "crates/telemetry/src/lib.rs",
     "crates/faults/src/lib.rs",
+    "crates/wire/src/lib.rs",
     "src/lib.rs",
 ];
 
@@ -213,6 +216,24 @@ pub fn default_rules() -> Vec<ScopedRule> {
             // The deterministic data-parallel layer is the one sanctioned
             // home for threads; everything else must go through it.
             exclude: vec!["crates/core/src/par.rs".to_string()],
+        },
+        ScopedRule {
+            rule: Rule {
+                id: "io-discipline",
+                category: Category::Determinism,
+                description: "filesystem access outside the artifact store; route all \
+                              persistence through kodan_wire::ArtifactStore so on-disk \
+                              bytes stay canonical and checksummed",
+                exempt_test_code: true,
+                kind: RuleKind::Pattern {
+                    needles: &["std::fs", "std::io::Write", "File::create", "File::open"],
+                },
+            },
+            include: paths(&DETERMINISTIC_CRATES),
+            // The content-addressed store is the one sanctioned home for
+            // file I/O in deterministic crates; the CLI (out of scope
+            // here) may also read and write user-named paths.
+            exclude: vec!["crates/wire/src/store.rs".to_string()],
         },
         // ---- panic safety ----------------------------------------------
         ScopedRule {
@@ -385,6 +406,21 @@ mod tests {
         assert!(td.applies_to("crates/core/src/runtime.rs"));
         assert!(!td.applies_to("crates/core/src/par.rs"));
         assert!(!td.applies_to("crates/cli/src/main.rs"));
+    }
+
+    #[test]
+    fn io_discipline_scope_excludes_only_the_store() {
+        let rules = default_rules();
+        let io = rules
+            .iter()
+            .find(|r| r.rule.id == "io-discipline")
+            .expect("io-discipline rule exists");
+        assert_eq!(io.rule.category, Category::Determinism);
+        assert!(io.applies_to("crates/core/src/artifact.rs"));
+        assert!(io.applies_to("crates/wire/src/codec.rs"));
+        assert!(!io.applies_to("crates/wire/src/store.rs"));
+        // The CLI is allowed to touch user-named paths directly.
+        assert!(!io.applies_to("crates/cli/src/commands.rs"));
     }
 
     #[test]

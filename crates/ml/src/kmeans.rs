@@ -6,6 +6,7 @@
 //! sweep lives in the Kodan core.
 
 use crate::metrics::DistanceMetric;
+use kodan_wire::{Dec, Decode, Enc, Encode, WireError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
@@ -268,6 +269,40 @@ pub fn silhouette(points: &[Vec<f64>], model: &KMeans) -> f64 {
         }
     }
     total / n as f64
+}
+
+impl Encode for KMeans {
+    fn encode(&self, enc: &mut Enc) {
+        self.centroids.encode(enc);
+        self.metric.encode(enc);
+        enc.f64(self.inertia);
+        self.assignments.encode(enc);
+    }
+}
+
+impl Decode for KMeans {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        let centroids = Vec::<Vec<f64>>::decode(dec)?;
+        let metric = DistanceMetric::decode(dec)?;
+        let inertia = dec.f64()?;
+        let assignments = Vec::<usize>::decode(dec)?;
+        if centroids.is_empty() {
+            return Err(WireError::InvalidValue("kmeans without centroids"));
+        }
+        let dim = centroids[0].len();
+        if centroids.iter().any(|c| c.len() != dim) {
+            return Err(WireError::InvalidValue("ragged kmeans centroids"));
+        }
+        if assignments.iter().any(|&a| a >= centroids.len()) {
+            return Err(WireError::InvalidValue("kmeans assignment out of range"));
+        }
+        Ok(KMeans {
+            centroids,
+            metric,
+            inertia,
+            assignments,
+        })
+    }
 }
 
 #[cfg(test)]

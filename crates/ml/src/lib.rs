@@ -46,6 +46,7 @@ pub mod mlp;
 pub mod optimizer;
 pub mod train;
 pub mod transform;
+pub mod wire;
 pub mod zoo;
 
 pub use eval::ConfusionMatrix;

@@ -4,6 +4,7 @@
 //! the SGD trainers need. No BLAS, no SIMD heroics — the matrices involved
 //! (thousands of rows, tens of columns) are small enough that clarity wins.
 
+use kodan_wire::{Dec, Decode, Enc, Encode, WireError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -256,6 +257,41 @@ impl fmt::Display for Matrix {
             writeln!(f, "  [{}]", cells.join(", "))?;
         }
         Ok(())
+    }
+}
+
+impl Encode for Matrix {
+    fn encode(&self, enc: &mut Enc) {
+        // Dimensions first, then exactly rows*cols raw f64 bit patterns —
+        // no redundant element count, so each matrix has one encoding.
+        enc.usize(self.rows);
+        enc.usize(self.cols);
+        for &v in &self.data {
+            enc.f64(v);
+        }
+    }
+}
+
+impl Decode for Matrix {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        let rows = dec.usize()?;
+        let cols = dec.usize()?;
+        if rows == 0 || cols == 0 {
+            return Err(WireError::InvalidValue("matrix dimension zero"));
+        }
+        let len = rows
+            .checked_mul(cols)
+            .ok_or(WireError::InvalidValue("matrix size overflow"))?;
+        // 8 bytes per element: bound the allocation by the input actually
+        // present before reserving anything.
+        if len.checked_mul(8).is_none_or(|bytes| bytes > dec.remaining()) {
+            return Err(WireError::Truncated);
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(dec.f64()?);
+        }
+        Ok(Matrix { rows, cols, data })
     }
 }
 

@@ -9,6 +9,7 @@ use crate::matrix::Matrix;
 use crate::optimizer::Optimizer;
 use crate::train::{bce_loss, sigmoid, TrainConfig};
 use crate::PixelClassifier;
+use kodan_wire::{Dec, Decode, Enc, Encode, WireError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
@@ -306,6 +307,45 @@ impl PixelClassifier for Mlp {
 
     fn input_dim(&self) -> usize {
         self.input_dim
+    }
+}
+
+impl Encode for Mlp {
+    fn encode(&self, enc: &mut Enc) {
+        enc.usize(self.input_dim);
+        enc.usize(self.hidden);
+        self.w1.encode(enc);
+        self.b1.encode(enc);
+        self.w2.encode(enc);
+        enc.f64(self.b2);
+    }
+}
+
+impl Decode for Mlp {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        let input_dim = dec.usize()?;
+        let hidden = dec.usize()?;
+        if input_dim == 0 || hidden == 0 {
+            return Err(WireError::InvalidValue("mlp dimension zero"));
+        }
+        let w1 = Matrix::decode(dec)?;
+        let b1 = Vec::<f64>::decode(dec)?;
+        let w2 = Vec::<f64>::decode(dec)?;
+        let b2 = dec.f64()?;
+        // Shape invariants keep every later forward pass panic-free.
+        if w1.rows() != hidden || w1.cols() != input_dim || b1.len() != hidden
+            || w2.len() != hidden
+        {
+            return Err(WireError::InvalidValue("mlp layer shape mismatch"));
+        }
+        Ok(Mlp {
+            input_dim,
+            hidden,
+            w1,
+            b1,
+            w2,
+            b2,
+        })
     }
 }
 

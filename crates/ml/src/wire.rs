@@ -1,0 +1,295 @@
+//! Wire-format encodings for the ml types whose shapes are public.
+//!
+//! Types with private fields ([`crate::matrix::Matrix`],
+//! [`crate::mlp::Mlp`], [`crate::kmeans::KMeans`]) implement
+//! [`Encode`]/[`Decode`] in their defining modules; everything with a
+//! public shape lives here. Enum tags are explicit `u16`s in
+//! declaration order, so reordering a Rust enum cannot silently change
+//! the format.
+
+use crate::eval::ConfusionMatrix;
+use crate::metrics::DistanceMetric;
+use crate::optimizer::OptimizerKind;
+use crate::train::TrainConfig;
+use crate::transform::{FittedTransform, TransformKind};
+use crate::zoo::ModelArch;
+use kodan_wire::{Dec, Decode, Enc, Encode, WireError};
+
+impl Encode for DistanceMetric {
+    fn encode(&self, enc: &mut Enc) {
+        let tag: u16 = match self {
+            DistanceMetric::Euclidean => 0,
+            DistanceMetric::Manhattan => 1,
+            DistanceMetric::Chebyshev => 2,
+            DistanceMetric::Cosine => 3,
+            DistanceMetric::Hamming => 4,
+        };
+        enc.u16(tag);
+    }
+}
+
+impl Decode for DistanceMetric {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        match dec.u16()? {
+            0 => Ok(DistanceMetric::Euclidean),
+            1 => Ok(DistanceMetric::Manhattan),
+            2 => Ok(DistanceMetric::Chebyshev),
+            3 => Ok(DistanceMetric::Cosine),
+            4 => Ok(DistanceMetric::Hamming),
+            tag => Err(WireError::BadTag {
+                what: "DistanceMetric",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl Encode for OptimizerKind {
+    fn encode(&self, enc: &mut Enc) {
+        let tag: u16 = match self {
+            OptimizerKind::SgdMomentum => 0,
+            OptimizerKind::Adam => 1,
+        };
+        enc.u16(tag);
+    }
+}
+
+impl Decode for OptimizerKind {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        match dec.u16()? {
+            0 => Ok(OptimizerKind::SgdMomentum),
+            1 => Ok(OptimizerKind::Adam),
+            tag => Err(WireError::BadTag {
+                what: "OptimizerKind",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl Encode for ModelArch {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u16(self.index() as u16);
+    }
+}
+
+impl Decode for ModelArch {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        let tag = dec.u16()?;
+        ModelArch::ALL
+            .get(usize::from(tag))
+            .copied()
+            .ok_or(WireError::BadTag {
+                what: "ModelArch",
+                tag: u32::from(tag),
+            })
+    }
+}
+
+impl Encode for TransformKind {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            TransformKind::Identity => enc.u16(0),
+            TransformKind::Standardize => enc.u16(1),
+            TransformKind::Pca(n) => {
+                enc.u16(2);
+                enc.usize(*n);
+            }
+        }
+    }
+}
+
+impl Decode for TransformKind {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        match dec.u16()? {
+            0 => Ok(TransformKind::Identity),
+            1 => Ok(TransformKind::Standardize),
+            2 => Ok(TransformKind::Pca(dec.usize()?)),
+            tag => Err(WireError::BadTag {
+                what: "TransformKind",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl Encode for FittedTransform {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            FittedTransform::Identity => enc.u16(0),
+            FittedTransform::Standardize { means, stds } => {
+                enc.u16(1);
+                means.encode(enc);
+                stds.encode(enc);
+            }
+            FittedTransform::Pca {
+                means,
+                stds,
+                components,
+            } => {
+                enc.u16(2);
+                means.encode(enc);
+                stds.encode(enc);
+                components.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for FittedTransform {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        match dec.u16()? {
+            0 => Ok(FittedTransform::Identity),
+            1 => {
+                let means = Vec::<f64>::decode(dec)?;
+                let stds = Vec::<f64>::decode(dec)?;
+                if means.len() != stds.len() {
+                    return Err(WireError::InvalidValue("standardize means/stds mismatch"));
+                }
+                Ok(FittedTransform::Standardize { means, stds })
+            }
+            2 => {
+                let means = Vec::<f64>::decode(dec)?;
+                let stds = Vec::<f64>::decode(dec)?;
+                let components = Vec::<Vec<f64>>::decode(dec)?;
+                if means.len() != stds.len()
+                    || components.iter().any(|c| c.len() != means.len())
+                {
+                    return Err(WireError::InvalidValue("pca shape mismatch"));
+                }
+                Ok(FittedTransform::Pca {
+                    means,
+                    stds,
+                    components,
+                })
+            }
+            tag => Err(WireError::BadTag {
+                what: "FittedTransform",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl Encode for TrainConfig {
+    fn encode(&self, enc: &mut Enc) {
+        enc.usize(self.epochs);
+        enc.usize(self.batch_size);
+        enc.f64(self.learning_rate);
+        enc.f64(self.momentum);
+        enc.f64(self.l2);
+        enc.u64(self.seed);
+        self.optimizer.encode(enc);
+        self.patience.encode(enc);
+    }
+}
+
+impl Decode for TrainConfig {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(TrainConfig {
+            epochs: dec.usize()?,
+            batch_size: dec.usize()?,
+            learning_rate: dec.f64()?,
+            momentum: dec.f64()?,
+            l2: dec.f64()?,
+            seed: dec.u64()?,
+            optimizer: OptimizerKind::decode(dec)?,
+            patience: Option::<usize>::decode(dec)?,
+        })
+    }
+}
+
+impl Encode for ConfusionMatrix {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.tp);
+        enc.u64(self.fp);
+        enc.u64(self.tn);
+        enc.u64(self.fn_);
+    }
+}
+
+impl Decode for ConfusionMatrix {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(ConfusionMatrix {
+            tp: dec.u64()?,
+            fp: dec.u64()?,
+            tn: dec.u64()?,
+            fn_: dec.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kodan_wire::{Decode, Encode};
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_wire();
+        let back = T::from_wire(&bytes).expect("decode");
+        assert_eq!(back, value);
+        assert_eq!(back.to_wire(), bytes);
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        for m in DistanceMetric::ALL {
+            roundtrip(m);
+        }
+        for a in ModelArch::ALL {
+            roundtrip(a);
+        }
+        roundtrip(OptimizerKind::SgdMomentum);
+        roundtrip(OptimizerKind::Adam);
+        roundtrip(TransformKind::Identity);
+        roundtrip(TransformKind::Standardize);
+        roundtrip(TransformKind::Pca(3));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut enc = kodan_wire::Enc::new();
+        enc.u16(99);
+        for err in [
+            DistanceMetric::from_wire(enc.as_bytes()).expect_err("metric"),
+            ModelArch::from_wire(enc.as_bytes()).expect_err("arch"),
+            OptimizerKind::from_wire(enc.as_bytes()).expect_err("optimizer"),
+            FittedTransform::from_wire(enc.as_bytes()).expect_err("transform"),
+        ] {
+            assert!(matches!(err, WireError::BadTag { tag: 99, .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn structs_roundtrip() {
+        roundtrip(TrainConfig::evaluation(7));
+        roundtrip(TrainConfig::fast(3));
+        roundtrip(ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: u64::MAX,
+        });
+        roundtrip(FittedTransform::Standardize {
+            means: vec![0.5, -0.25],
+            stds: vec![1.0, 2.0],
+        });
+        roundtrip(FittedTransform::Pca {
+            means: vec![0.0, 1.0, 2.0],
+            stds: vec![1.0, 1.0, 1.0],
+            components: vec![vec![0.1, 0.2, 0.3]; 2],
+        });
+    }
+
+    #[test]
+    fn mismatched_shapes_are_rejected() {
+        let mut enc = kodan_wire::Enc::new();
+        enc.u16(1); // Standardize
+        vec![1.0f64, 2.0].encode(&mut enc);
+        vec![1.0f64].encode(&mut enc);
+        assert_eq!(
+            FittedTransform::from_wire(enc.as_bytes()),
+            Err(WireError::InvalidValue("standardize means/stds mismatch"))
+        );
+    }
+}

@@ -202,11 +202,18 @@ pub enum CounterId {
     QueueEntriesShed,
     /// Queue entries rejected for corrupted (invalid) sizes.
     QueueEntriesRejected,
+    /// Deployable artifacts sealed into an artifact store.
+    ArtifactsSaved,
+    /// Total encoded artifact bytes (the modeled uplink cost).
+    ArtifactBytes,
+    /// Artifacts rejected at load time (bad checksum or malformed
+    /// payload) and replaced by a fallback model.
+    ArtifactsRecovered,
 }
 
 impl CounterId {
     /// Every counter, in canonical serialization order.
-    pub const ALL: [CounterId; 22] = [
+    pub const ALL: [CounterId; 25] = [
         CounterId::FramesProcessed,
         CounterId::TilesObserved,
         CounterId::TilesDiscarded,
@@ -229,6 +236,9 @@ impl CounterId {
         CounterId::ModelFallbacks,
         CounterId::QueueEntriesShed,
         CounterId::QueueEntriesRejected,
+        CounterId::ArtifactsSaved,
+        CounterId::ArtifactBytes,
+        CounterId::ArtifactsRecovered,
     ];
 
     /// Stable snake_case name used in snapshots.
@@ -256,6 +266,9 @@ impl CounterId {
             CounterId::ModelFallbacks => "model_fallbacks",
             CounterId::QueueEntriesShed => "queue_entries_shed",
             CounterId::QueueEntriesRejected => "queue_entries_rejected",
+            CounterId::ArtifactsSaved => "artifacts_saved",
+            CounterId::ArtifactBytes => "artifact_bytes",
+            CounterId::ArtifactsRecovered => "artifacts_recovered",
         }
     }
 

@@ -36,7 +36,11 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            // C0 controls must be escaped per RFC 8259; DEL (U+007F) and
+            // the line/paragraph separators (U+2028/U+2029) are legal in
+            // JSON strings but break log-line tooling and JavaScript
+            // consumers, so they get the same treatment.
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -177,6 +181,24 @@ mod tests {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape("x\ny"), "x\\ny");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn escaping_covers_del_and_line_separators() {
+        // DEL sits just past the C0 range the old guard covered; the
+        // Unicode line separators would smuggle raw line breaks into
+        // one-line-per-record journals.
+        assert_eq!(escape("a\u{7f}b"), "a\\u007fb");
+        assert_eq!(escape("\u{2028}"), "\\u2028");
+        assert_eq!(escape("\u{2029}"), "\\u2029");
+    }
+
+    #[test]
+    fn escaping_passes_other_non_ascii_through_raw() {
+        // Only the characters that break consumers are escaped; general
+        // Unicode stays verbatim so output remains human-readable.
+        assert_eq!(escape("überflug ↑ 北京"), "überflug ↑ 北京");
+        assert_eq!(escape("\u{2027}\u{202a}"), "\u{2027}\u{202a}");
     }
 
     #[test]

@@ -6,8 +6,8 @@ use std::collections::BTreeMap;
 
 /// Schema version stamped into every serialized snapshot; bump when a
 /// field is added, renamed or re-typed. Version 2 added the fault and
-/// degradation counters.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+/// degradation counters; version 3 added the artifact uplink counters.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
 
 /// Accumulated totals for one span stage.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -264,7 +264,7 @@ mod tests {
         a.journal.push(vec!["frame_captured pixels=4".to_string()]);
         let b = a.clone();
         assert_eq!(a.to_json(), b.to_json());
-        assert!(a.to_json().contains("\"schema_version\": 2"));
+        assert!(a.to_json().contains("\"schema_version\": 3"));
         assert!(a.to_json().contains("\"c00\": 7"));
     }
 

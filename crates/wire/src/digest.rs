@@ -1,0 +1,95 @@
+//! Content digests and payload checksums.
+//!
+//! Two independent hashes with two jobs:
+//!
+//! * **FNV-1a (64-bit)** addresses objects in the [`store`](crate::store)
+//!   — the digest of an artifact's encoded bytes is its identity, so
+//!   identical artifacts deduplicate and a renamed file is still found.
+//!   It is also the weight-checksum primitive the fault layer already
+//!   uses, which keeps "corrupted on load" and "corrupted by an SEU"
+//!   comparable failure modes.
+//! * **CRC-32 (IEEE)** guards each envelope payload against bit-level
+//!   corruption in storage or transit; it is cheap enough to verify on
+//!   every load.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The FNV-1a 64-bit digest of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The reflected CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC-32 (IEEE 802.3, reflected) checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xff) as usize;
+        crc = CRC32_TABLE[idx] ^ (crc >> 8);
+    }
+    crc ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_crc() {
+        let base = vec![0u8; 64];
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupted = base.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Versioned, checksummed section headers.
+//!
+//! Every artifact file is one sealed section:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "KWIR"
+//! 4       2     wire format version (little-endian u16)
+//! 6       2     section kind tag (little-endian u16)
+//! 8       8     payload length in bytes (little-endian u64)
+//! 16      n     payload (canonical encoding of one artifact)
+//! 16+n    4     CRC-32 of the payload (little-endian u32)
+//! ```
+//!
+//! Version negotiation is strictly backward: a reader accepts any
+//! version up to its own [`WIRE_VERSION`] (older payloads decode under
+//! the schema that version froze — v1 is the only revision so far) and
+//! rejects newer ones with [`WireError::UnsupportedVersion`], because a
+//! newer writer may have added fields the reader would silently
+//! misparse.
+
+use crate::codec::{Dec, Enc, WireError};
+use crate::digest::crc32;
+
+/// The section magic: identifies a kodan wire artifact.
+pub const MAGIC: [u8; 4] = *b"KWIR";
+
+/// The current wire format revision.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Section kind: an encoded `KodanConfig` (the fingerprint source).
+pub const KIND_CONFIG: u16 = 1;
+
+/// Section kind: an encoded `ContextSet` (the context map).
+pub const KIND_CONTEXTS: u16 = 2;
+
+/// Section kind: the transformation bundle — context engine plus the
+/// per-grid skeletons (evaluations, weights, model-table shape) that
+/// reference models by store digest rather than embedding them.
+pub const KIND_BUNDLE: u16 = 3;
+
+/// Section kind: one encoded `SpecializedModel`.
+pub const KIND_MODEL: u16 = 4;
+
+/// Section kind: an encoded `SelectionLogic` for one deployment target.
+pub const KIND_SELECTION: u16 = 5;
+
+/// Human-readable name for a section kind tag.
+pub fn kind_name(kind: u16) -> &'static str {
+    match kind {
+        KIND_CONFIG => "config",
+        KIND_CONTEXTS => "contexts",
+        KIND_BUNDLE => "bundle",
+        KIND_MODEL => "model",
+        KIND_SELECTION => "selection",
+        _ => "unknown",
+    }
+}
+
+/// Section kind tag for a kind name, if known.
+pub fn kind_tag(name: &str) -> Option<u16> {
+    match name {
+        "config" => Some(KIND_CONFIG),
+        "contexts" => Some(KIND_CONTEXTS),
+        "bundle" => Some(KIND_BUNDLE),
+        "model" => Some(KIND_MODEL),
+        "selection" => Some(KIND_SELECTION),
+        _ => None,
+    }
+}
+
+/// A parsed section header plus its verified payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section<'a> {
+    /// The wire format version the section was written under.
+    pub version: u16,
+    /// The section kind tag.
+    pub kind: u16,
+    /// The payload bytes (checksum already verified).
+    pub payload: &'a [u8],
+    /// The CRC-32 recorded in the trailer.
+    pub crc32: u32,
+}
+
+/// Seals `payload` into a versioned, checksummed section of the given
+/// kind.
+pub fn seal(kind: u16, payload: &[u8]) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.raw(&MAGIC);
+    enc.u16(WIRE_VERSION);
+    enc.u16(kind);
+    enc.u64(payload.len() as u64);
+    enc.raw(payload);
+    enc.u32(crc32(payload));
+    enc.into_bytes()
+}
+
+/// Parses and verifies a sealed section without pinning its kind.
+///
+/// Checks, in order: magic, version (≤ [`WIRE_VERSION`]), payload
+/// length against the bytes actually present, exact trailer length, and
+/// the payload CRC-32.
+pub fn peek(bytes: &[u8]) -> Result<Section<'_>, WireError> {
+    let mut dec = Dec::new(bytes);
+    let magic = dec.take(4)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = dec.u16()?;
+    if version == 0 || version > WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = dec.u16()?;
+    let len = dec.u64()?;
+    let len = usize::try_from(len).map_err(|_| WireError::Truncated)?;
+    if dec.remaining() < len.saturating_add(4) {
+        return Err(WireError::Truncated);
+    }
+    let payload = dec.take(len)?;
+    let expected = dec.u32()?;
+    dec.finish()?;
+    let found = crc32(payload);
+    if found != expected {
+        return Err(WireError::BadChecksum { expected, found });
+    }
+    Ok(Section {
+        version,
+        kind,
+        payload,
+        crc32: expected,
+    })
+}
+
+/// Parses and verifies a sealed section, additionally requiring its
+/// kind tag to match `kind`. Returns the verified payload.
+pub fn open(bytes: &[u8], kind: u16) -> Result<&[u8], WireError> {
+    let section = peek(bytes)?;
+    if section.kind != kind {
+        return Err(WireError::BadTag {
+            what: "section kind",
+            tag: u32::from(section.kind),
+        });
+    }
+    Ok(section.payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_then_open_returns_the_payload() {
+        let payload = b"specialized model bytes";
+        let sealed = seal(KIND_MODEL, payload);
+        assert_eq!(open(&sealed, KIND_MODEL).expect("open"), payload);
+        let section = peek(&sealed).expect("peek");
+        assert_eq!(section.version, WIRE_VERSION);
+        assert_eq!(section.kind, KIND_MODEL);
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let sealed = seal(KIND_MODEL, b"x");
+        assert_eq!(
+            open(&sealed, KIND_CONFIG),
+            Err(WireError::BadTag {
+                what: "section kind",
+                tag: u32::from(KIND_MODEL)
+            })
+        );
+    }
+
+    #[test]
+    fn newer_versions_are_refused() {
+        let mut sealed = seal(KIND_MODEL, b"x");
+        sealed[4..6].copy_from_slice(&(WIRE_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            peek(&sealed).expect_err("must fail"),
+            WireError::UnsupportedVersion(WIRE_VERSION + 1)
+        );
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let sealed = seal(KIND_BUNDLE, &[7u8; 96]);
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut corrupted = sealed.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    open(&corrupted, KIND_BUNDLE).is_err(),
+                    "flip at {byte}:{bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_detected() {
+        let sealed = seal(KIND_CONTEXTS, &[1u8; 40]);
+        for cut in 0..sealed.len() {
+            assert!(peek(&sealed[..cut]).is_err(), "cut at {cut} went undetected");
+        }
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in [KIND_CONFIG, KIND_CONTEXTS, KIND_BUNDLE, KIND_MODEL, KIND_SELECTION] {
+            assert_eq!(kind_tag(kind_name(kind)), Some(kind));
+        }
+        assert_eq!(kind_tag("unknown"), None);
+    }
+}

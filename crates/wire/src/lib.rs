@@ -1,0 +1,39 @@
+//! `kodan-wire`: the canonical binary wire format and artifact store for
+//! Kodan's ground→space uplink path.
+//!
+//! The paper's deployment model is a one-time ground-segment
+//! transformation whose outputs — specialized models, context maps and
+//! the per-target selection logic — are uplinked to the satellite and
+//! executed unchanged by the runtime. This crate makes that handoff
+//! real for the reproduction:
+//!
+//! * [`codec`] — a hand-rolled, dependency-free binary encoding:
+//!   little-endian, length-prefixed, with `f64` stored as explicit IEEE
+//!   bit patterns so re-encoding a decoded artifact is byte-identical.
+//!   The [`Encode`]/[`Decode`] traits are implemented by each crate for
+//!   its own types; decoding is total (every malformed input yields a
+//!   typed [`WireError`], never a panic).
+//! * [`envelope`] — versioned, checksummed section headers: a 4-byte
+//!   magic, a format version, a section kind tag, a payload length and
+//!   a trailing CRC-32 over the payload.
+//! * [`digest`] — FNV-1a content digests (store addressing) and CRC-32
+//!   payload checksums (corruption detection).
+//! * [`store`] — a content-addressed on-disk [`ArtifactStore`] keyed by
+//!   digest, with a deterministic text manifest mapping (deployment
+//!   target, seed, config fingerprint) to artifact digests.
+//!
+//! Filesystem access in the workspace's deterministic crates is
+//! confined to this crate's store (and the CLI), enforced by the
+//! `io-discipline` lint rule.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod digest;
+pub mod envelope;
+pub mod store;
+
+pub use codec::{Dec, Decode, Enc, Encode, WireError};
+pub use envelope::{open, peek, seal, Section, WIRE_VERSION};
+pub use store::{ArtifactStore, Manifest, ManifestEntry, UPLINK_BUDGET_BYTES};

@@ -1,0 +1,163 @@
+//! Property tests for the wire layer.
+//!
+//! Two invariants keep the uplink path trustworthy and are asserted here
+//! over randomized inputs:
+//!
+//! 1. **Canonical bytes** — decoding a value and re-encoding it yields
+//!    the exact original byte string, for primitives, containers, and
+//!    real trained models. (Byte-identity is what lets the store
+//!    content-address artifacts and the mission tests compare saved and
+//!    in-memory paths with `==`.)
+//! 2. **Total decoding** — no corruption of a sealed artifact is ever
+//!    silently accepted, and none panics: a flipped byte or a truncated
+//!    buffer always surfaces as a typed [`WireError`]. On orbit the
+//!    difference between `Err` and a panic is the difference between the
+//!    global-model fallback and a dead payload.
+
+use kodan::config::KodanConfig;
+use kodan_ml::train::TrainConfig;
+use kodan_ml::transform::TransformKind;
+use kodan_ml::{ConfusionMatrix, Mlp};
+use kodan_wire::envelope::{open, seal, KIND_CONFIG, KIND_MODEL};
+use kodan_wire::{Dec, Decode, Enc, Encode};
+use proptest::prelude::*;
+
+/// Strings over the full scalar-value range (unpaired surrogates fold to
+/// U+FFFD, which is itself a fine test input).
+fn string_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x11_0000, 0..24).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| char::from_u32(c).unwrap_or('\u{fffd}'))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn primitives_reencode_byte_identically(
+        a in 0u64..u64::MAX,
+        bits in 0u64..u64::MAX,
+        s in string_strategy(),
+        xs in prop::collection::vec(0u64..u64::MAX, 0..16),
+        opt_tag in proptest::bool::ANY,
+        b in proptest::bool::ANY,
+    ) {
+        // A composite record covering every primitive writer, including
+        // f64 as an arbitrary bit pattern (NaN payloads must survive).
+        let f = f64::from_bits(bits);
+        let opt: Option<u64> = if opt_tag { Some(a) } else { None };
+        let mut enc = Enc::new();
+        enc.u64(a);
+        enc.f64(f);
+        s.encode(&mut enc);
+        xs.encode(&mut enc);
+        opt.encode(&mut enc);
+        enc.bool(b);
+        let bytes = enc.into_bytes();
+
+        let mut dec = Dec::new(&bytes);
+        let a2 = dec.u64().expect("u64 decodes");
+        let f2 = dec.f64().expect("f64 decodes");
+        let s2 = String::decode(&mut dec).expect("string decodes");
+        let xs2 = Vec::<u64>::decode(&mut dec).expect("vec decodes");
+        let opt2 = Option::<u64>::decode(&mut dec).expect("option decodes");
+        let b2 = dec.bool().expect("bool decodes");
+        dec.finish().expect("no trailing bytes");
+        prop_assert_eq!(a2, a);
+        prop_assert_eq!(f2.to_bits(), bits);
+        prop_assert_eq!(&s2, &s);
+        prop_assert_eq!(&xs2, &xs);
+        prop_assert_eq!(opt2, opt);
+        prop_assert_eq!(b2, b);
+
+        let mut re = Enc::new();
+        re.u64(a2);
+        re.f64(f2);
+        s2.encode(&mut re);
+        xs2.encode(&mut re);
+        opt2.encode(&mut re);
+        re.bool(b2);
+        prop_assert_eq!(re.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn confusion_matrix_roundtrips(
+        tp in 0u64..u64::MAX,
+        fp in 0u64..u64::MAX,
+        tn in 0u64..u64::MAX,
+        fn_ in 0u64..u64::MAX,
+    ) {
+        let cm = ConfusionMatrix { tp, fp, tn, fn_ };
+        let bytes = cm.to_wire();
+        let back = ConfusionMatrix::from_wire(&bytes).expect("matrix decodes");
+        prop_assert_eq!(back, cm);
+        prop_assert_eq!(back.to_wire(), bytes);
+    }
+
+    #[test]
+    fn fitted_transform_roundtrips(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 4), 2..20),
+    ) {
+        let t = TransformKind::Standardize.fit(&rows);
+        let bytes = t.to_wire();
+        let back = kodan_ml::transform::FittedTransform::from_wire(&bytes).expect("transform decodes");
+        prop_assert_eq!(back.to_wire(), bytes);
+        // The decoded transform behaves identically, not just encodes
+        // identically.
+        prop_assert_eq!(back.apply(&rows[0]), t.apply(&rows[0]));
+    }
+}
+
+proptest! {
+    // Training-based and corruption sweeps use fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn trained_mlp_reencodes_byte_identically(
+        seed in 0u64..1000,
+        dim in 1usize..5,
+        hidden in 1usize..4,
+        n in 8usize..32,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..dim).map(|d| ((i * 7 + d * 3) % 13) as f64 / 13.0).collect())
+            .collect();
+        let ys: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let model = Mlp::fit(&xs, &ys, hidden, &TrainConfig::fast(seed));
+        let bytes = model.to_wire();
+        let back = Mlp::from_wire(&bytes).expect("model decodes");
+        prop_assert_eq!(back.to_wire(), bytes);
+    }
+
+    #[test]
+    fn single_byte_corruption_of_a_sealed_artifact_is_always_an_error(
+        seed in 0u64..1000,
+        pos in 0usize..1_000_000,
+        xor in 1u8..=255,
+    ) {
+        let payload = KodanConfig::fast(seed).to_wire();
+        let mut sealed = seal(KIND_CONFIG, &payload);
+        let pos = pos % sealed.len();
+        sealed[pos] ^= xor;
+        // Every flipped byte lands in a validated field: magic, version,
+        // kind, length, payload (checksummed) or the checksum itself.
+        prop_assert!(open(&sealed, KIND_CONFIG).is_err(), "byte {} accepted", pos);
+    }
+
+    #[test]
+    fn truncated_artifacts_are_always_an_error(
+        seed in 0u64..1000,
+        keep in 0usize..1_000_000,
+    ) {
+        let model = Mlp::fit(
+            &[vec![0.0], vec![1.0], vec![0.5], vec![0.25]],
+            &[false, true, true, false],
+            2,
+            &TrainConfig::fast(seed),
+        );
+        let sealed = seal(KIND_MODEL, &model.to_wire());
+        let keep = keep % sealed.len();
+        prop_assert!(open(&sealed[..keep], KIND_MODEL).is_err(), "prefix {} accepted", keep);
+    }
+}

@@ -307,6 +307,126 @@ fn fault_injected_missions_are_byte_identical_at_any_worker_count() {
 }
 
 #[test]
+fn saved_artifacts_reload_byte_identically() {
+    // The uplink contract: what the ground seals is exactly what the
+    // satellite unseals. A clean save→load round trip must reproduce the
+    // full artifact set and selection logic with `==` — and saving twice
+    // must produce byte-identical stores (canonical encoding leaves no
+    // room for incidental variation).
+    use kodan::artifact::{load_artifacts, save_artifacts};
+    use kodan_telemetry::NullRecorder;
+    use std::path::Path;
+
+    let dataset = small_dataset(1);
+    let artifacts = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
+    let env = SpaceEnvironment::fixed(0.21);
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("determinism_artifacts");
+    std::fs::remove_dir_all(&root).ok();
+    let dir_a = root.join("a");
+    let dir_b = root.join("b");
+    let report_a = save_artifacts(&artifacts, &logic, &dir_a, &mut NullRecorder)
+        .expect("save succeeds");
+    let report_b = save_artifacts(&artifacts, &logic, &dir_b, &mut NullRecorder)
+        .expect("second save succeeds");
+    assert_eq!(report_a, report_b, "re-saving must be byte-deterministic");
+    assert!(report_a.total_bytes > 0);
+    assert!(!report_a.over_budget, "test artifacts fit the uplink budget");
+
+    // Every on-disk byte matches: manifest text and all objects.
+    let read = |dir: &Path, name: &str| std::fs::read(dir.join(name)).expect("read store file");
+    assert_eq!(read(&dir_a, "manifest.txt"), read(&dir_b, "manifest.txt"));
+    for entry in &report_a.manifest.entries {
+        let object = format!("objects/{:016x}.bin", entry.digest);
+        assert_eq!(read(&dir_a, &object), read(&dir_b, &object), "{object} differs");
+    }
+
+    let loaded = load_artifacts(&dir_a, &mut NullRecorder).expect("load succeeds");
+    assert!(loaded.recovered.is_empty(), "clean store needs no recovery");
+    assert!(loaded.quarantined_slots.is_empty());
+    assert_eq!(loaded.artifacts, artifacts, "artifacts round-trip exactly");
+    assert_eq!(loaded.selection, logic, "selection logic round-trips exactly");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn missions_from_loaded_artifacts_match_in_memory_at_any_worker_count() {
+    // Flying a mission from an unsealed artifact set is the same mission:
+    // identical MissionReport and byte-identical telemetry JSON as the
+    // in-memory path, at 1, 2 and 4 workers.
+    use kodan::artifact::{load_artifacts, save_artifacts};
+    use kodan_telemetry::NullRecorder;
+    use std::path::Path;
+
+    let dataset = small_dataset(1);
+    let artifacts = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = World::new(42);
+    let params = MissionParams {
+        sample_frames: 6,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 1.0,
+    };
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("determinism_loaded_mission");
+    std::fs::remove_dir_all(&dir).ok();
+    save_artifacts(&artifacts, &logic, &dir, &mut NullRecorder).expect("save succeeds");
+    let loaded = load_artifacts(&dir, &mut NullRecorder).expect("load succeeds");
+
+    let fly = |logic: &kodan::SelectionLogic,
+               engine: &kodan::ContextEngine,
+               quarantined: &[usize],
+               workers: usize| {
+        let runtime = Runtime::new(logic.clone(), engine.clone())
+            .with_workers(workers)
+            .with_quarantined_models(quarantined.to_vec());
+        let mut recorder = SummaryRecorder::new();
+        let report = Mission::new(&env, &world, params).run_with_runtime_recorded(
+            &runtime,
+            SystemKind::Kodan,
+            &mut recorder,
+        );
+        (report, recorder.snapshot().to_json())
+    };
+
+    for workers in [1, 2, 4] {
+        let (memory_report, memory_json) = fly(&logic, &artifacts.engine, &[], workers);
+        let (loaded_report, loaded_json) = fly(
+            &loaded.selection,
+            &loaded.artifacts.engine,
+            &loaded.quarantined_slots,
+            workers,
+        );
+        assert_eq!(
+            memory_report, loaded_report,
+            "{workers}-worker loaded-artifact mission diverged"
+        );
+        assert_eq!(
+            memory_json.as_bytes(),
+            loaded_json.as_bytes(),
+            "{workers}-worker loaded-artifact telemetry diverged"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn selection_is_reproducible_across_rederivations() {
     let dataset = small_dataset(1);
     let artifacts = Transformation::new(KodanConfig::fast(9))

@@ -307,3 +307,138 @@ fn mission_reports_are_internally_consistent() {
         assert!(report.processed_fraction > 0.0 && report.processed_fraction <= 1.0);
     }
 }
+
+#[test]
+fn corrupted_artifact_store_degrades_to_the_global_model() {
+    // The load-time mirror of the SEU fallback: flip one byte inside a
+    // specialized-model blob on disk, and the load must still succeed —
+    // substituting the grid's global model for the corrupted slot — and
+    // the quarantined mission must account a fallback on every frame,
+    // exactly like a runtime-detected corruption.
+    use kodan::artifact::{load_artifacts, save_artifacts};
+    use kodan_telemetry::{CounterId, NullRecorder, SummaryRecorder};
+    use std::path::Path;
+
+    let artifacts = test_artifacts();
+    let env = SpaceEnvironment::fixed(0.21);
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let grid = logic.grid();
+    let ga = artifacts.grid_artifacts(grid).expect("selected grid exists");
+    let ctx = ga
+        .context_models
+        .iter()
+        .position(Option::is_some)
+        .expect("selected grid has a context model to corrupt");
+
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("end_to_end_corrupt_store");
+    std::fs::remove_dir_all(&dir).ok();
+    let report =
+        save_artifacts(artifacts, &logic, &dir, &mut NullRecorder).expect("save succeeds");
+
+    let name = format!("grid{grid}.ctx{ctx}");
+    let entry = report.manifest.entry(&name).expect("entry exists");
+    let object = dir.join(format!("objects/{:016x}.bin", entry.digest));
+    let mut bytes = std::fs::read(&object).expect("read object");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&object, &bytes).expect("write corrupted object");
+
+    let mut recorder = SummaryRecorder::new();
+    let loaded = load_artifacts(&dir, &mut recorder).expect("corrupted load still succeeds");
+    assert_eq!(
+        loaded.recovered.len(),
+        1,
+        "exactly the corrupted model recovers: {:?}",
+        loaded.recovered
+    );
+    assert_eq!(loaded.recovered[0].name, name);
+    assert_eq!(loaded.recovered[0].grid, grid);
+    assert_eq!(
+        recorder.snapshot().counter(CounterId::ArtifactsRecovered),
+        1,
+        "recovery must be counted"
+    );
+    assert_eq!(
+        loaded.quarantined_slots.len(),
+        1,
+        "the recovered slot of the selected grid is quarantined"
+    );
+    // The substituted model serves the original slot's scope.
+    let slot = loaded.quarantined_slots[0];
+    assert_eq!(
+        loaded.selection.models()[slot].scope(),
+        logic.models()[slot].scope(),
+        "fallback must preserve the corrupted slot's scope"
+    );
+
+    let runtime = Runtime::new(loaded.selection, loaded.artifacts.engine.clone())
+        .with_quarantined_models(loaded.quarantined_slots);
+    let world = test_world();
+    let mut mission_recorder = SummaryRecorder::new();
+    let flown = Mission::new(&env, &world, mission_params()).run_with_runtime_recorded(
+        &runtime,
+        SystemKind::Kodan,
+        &mut mission_recorder,
+    );
+    let snapshot = mission_recorder.snapshot();
+    assert_eq!(
+        snapshot.counter(CounterId::ModelFallbacks),
+        snapshot.frames,
+        "one quarantined slot must account one fallback per frame"
+    );
+    assert!((0.0..=1.0).contains(&flown.dvd), "dvd {}", flown.dvd);
+    assert!(flown.processed_fraction > 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn artifacts_inspect_reports_store_health() {
+    // `kodan artifacts inspect` renders this report verbatim; lock the
+    // load-bearing pieces: deployment coordinates, per-artifact status,
+    // the uplink budget line, and corruption flagging.
+    use kodan::artifact::save_artifacts;
+    use kodan_telemetry::NullRecorder;
+    use std::path::Path;
+
+    let artifacts = test_artifacts();
+    let env = SpaceEnvironment::fixed(0.21);
+    let logic = artifacts.select_with_capacity(
+        HwTarget::OrinAgx15W,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("end_to_end_inspect_store");
+    std::fs::remove_dir_all(&dir).ok();
+    let report =
+        save_artifacts(artifacts, &logic, &dir, &mut NullRecorder).expect("save succeeds");
+
+    let text = kodan_wire::store::inspect(&dir).expect("inspect succeeds");
+    assert!(text.contains("target orin_agx_15w"), "{text}");
+    assert!(text.contains("selection"), "{text}");
+    assert!(text.contains("contexts"), "{text}");
+    assert!(text.contains(" ok"), "{text}");
+    assert!(!text.contains("CORRUPT"), "{text}");
+    assert!(text.contains("modeled uplink budget"), "{text}");
+
+    // Corrupt one object; inspect must flag exactly that entry and keep
+    // rendering the rest.
+    let entry = &report.manifest.entries[0];
+    let object = dir.join(format!("objects/{:016x}.bin", entry.digest));
+    let mut bytes = std::fs::read(&object).expect("read object");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&object, &bytes).expect("write corrupted object");
+    let text = kodan_wire::store::inspect(&dir).expect("inspect still succeeds");
+    assert_eq!(
+        text.matches("CORRUPT").count(),
+        1,
+        "exactly one corrupted entry: {text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -172,6 +172,77 @@ fn gate_enforces_thread_discipline() {
 }
 
 #[test]
+fn gate_enforces_io_discipline() {
+    // Persistence in the deterministic crates must route through the
+    // content-addressed artifact store, whose canonical encoding and
+    // checksums keep on-disk bytes reproducible. Seed a raw std::fs
+    // write into a fake core file and confirm the gate fires — and that
+    // the store itself is carved out of the rule's scope.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_gate_io_fixture");
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+    let src = "pub fn dump(bytes: &[u8]) {\n    \
+               std::fs::write(\"model.bin\", bytes).ok();\n}\n";
+    std::fs::write(src_dir.join("artifact.rs"), src).expect("write fixture");
+
+    let rules = default_rules();
+    let report = check(&dir, &rules).expect("fixture scan succeeds");
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.exit_code(), 1, "determinism bit must fire");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule_id == "io-discipline"),
+        "expected an io-discipline diagnostic, got: {:?}",
+        report.diagnostics
+    );
+
+    // The same source inside the store is the sanctioned I/O site.
+    assert!(
+        scan_source("crates/wire/src/store.rs", src, &rules).is_empty(),
+        "store.rs must be excluded from io-discipline"
+    );
+    // The CLI sits outside the deterministic scope entirely.
+    assert!(
+        scan_source("crates/cli/src/commands.rs", src, &rules).is_empty(),
+        "the CLI may write user-named paths directly"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_covers_the_wire_crate() {
+    // The wire crate's contract is canonical bytes: the same artifact
+    // must encode identically on every machine, every run. A wall-clock
+    // read there (say, a timestamp in a section header) would silently
+    // break save/load byte-identity, so the crate must sit inside the
+    // determinism scope.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_gate_wire_fixture");
+    let src_dir = dir.join("crates/wire/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+    std::fs::write(
+        src_dir.join("envelope.rs"),
+        "use std::time::SystemTime;\n\
+         pub fn stamp() -> SystemTime { SystemTime::now() }\n",
+    )
+    .expect("write fixture");
+
+    let rules = default_rules();
+    let report = check(&dir, &rules).expect("fixture scan succeeds");
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.exit_code(), 1, "determinism bit must fire");
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule_id == "wall-clock"),
+        "expected a wall-clock diagnostic, got: {:?}",
+        report.diagnostics
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn suppressions_survive_the_real_pipeline() {
     // The escape hatch documented in DESIGN.md must keep working: the
     // gate's usefulness depends on allows being honoured verbatim.
