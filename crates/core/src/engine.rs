@@ -68,9 +68,11 @@ impl ContextEngine {
         let mut counts = vec![0usize; k];
         for (tile, f) in tiles.iter().zip(&scaled) {
             let c = contexts.classify_truth(tile).0;
-            counts[c] += 1;
-            for (s, v) in sums[c].iter_mut().zip(f) {
-                *s += v;
+            if let (Some(count), Some(sum)) = (counts.get_mut(c), sums.get_mut(c)) {
+                *count += 1;
+                for (s, v) in sum.iter_mut().zip(f) {
+                    *s += v;
+                }
             }
         }
         let centroids: Vec<Vec<f64>> = sums
@@ -176,7 +178,11 @@ impl ExpertMapEngine {
     /// Classifies a tile by looking up the surface under its center.
     pub fn classify(&self, tile: &TileImage) -> ContextId {
         let surface = self.map.classify(tile.center_lat_deg(), tile.center_lon_deg());
-        let idx = self.surface_to_context[surface.index()];
+        let idx = self
+            .surface_to_context
+            .get(surface.index())
+            .copied()
+            .unwrap_or(usize::MAX);
         ContextId(if idx == usize::MAX { 0 } else { idx })
     }
 

@@ -481,7 +481,11 @@ impl<'a> Mission<'a> {
             let processed_before = ((i as f64) * processed_fraction).floor();
             let processed_after = ((i as f64 + 1.0) * processed_fraction).floor();
             if processed_after > processed_before {
-                let o = &outcomes[(i as usize) % outcomes.len()];
+                let slot = (i as usize).checked_rem(outcomes.len()).unwrap_or(0);
+                let o = match outcomes.get(slot) {
+                    Some(o) => o,
+                    None => continue,
+                };
                 if o.sent_px > 0 {
                     // A corrupt outcome (injected or numeric) must not
                     // take the mission down: drop the entry, count it,

@@ -41,7 +41,8 @@ const MAX_CONFIGURED_WORKERS: usize = 64;
 /// `1..=`[`MAX_WORKERS`]. Used only when configuration says `0` (auto);
 /// the result never influences computed outputs, only wall-clock time.
 pub fn auto_workers() -> usize {
-    // lint:allow(thread-discipline): capability probe, not a thread spawn
+    // A capability probe, not a thread spawn; par.rs is the sanctioned
+    // home for std::thread anyway (thread-discipline carve-out).
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -65,8 +66,12 @@ pub fn resolve_workers(configured: usize) -> usize {
 /// schedule.
 pub fn shard_len(n: usize, workers: usize, index: usize) -> usize {
     debug_assert!(workers > 0 && index < workers);
+    // Total even on a (never produced) zero worker count: behave as one
+    // serial shard rather than dividing by zero.
+    let workers = workers.max(1);
     let base = n / workers;
-    if index < n % workers {
+    let extra = n.checked_rem(workers).unwrap_or(0);
+    if index < extra {
         base + 1
     } else {
         base
@@ -96,24 +101,28 @@ where
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
     let workers = workers.min(n);
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
+    // Each shard fills its own output Vec; concatenating in shard order
+    // reproduces input order without index-keyed Option slots (and
+    // without the unfillable-slot panic path they would imply).
+    let mut shard_outputs: Vec<Vec<T>> = Vec::with_capacity(workers);
+    shard_outputs.resize_with(workers, Vec::new);
 
     let result = crossbeam::scope(|scope| {
         let f = &f;
-        let mut rest: &mut [Option<T>] = &mut slots;
+        let mut rest = items;
         let mut start = 0usize;
-        for w in 0..workers {
-            let len = shard_len(n, workers, w);
-            let (shard, tail) = rest.split_at_mut(len);
+        for (w, out) in shard_outputs.iter_mut().enumerate() {
+            let len = shard_len(n, workers, w).min(rest.len());
+            let (shard_items, tail) = rest.split_at(len);
             rest = tail;
-            let shard_items = &items[start..start + len];
             let shard_start = start;
             start += len;
             scope.spawn(move |_| {
-                for (offset, (slot, item)) in shard.iter_mut().zip(shard_items).enumerate() {
-                    *slot = Some(f(shard_start + offset, item));
-                }
+                *out = shard_items
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, item)| f(shard_start + offset, item))
+                    .collect();
             });
         }
     });
@@ -121,10 +130,7 @@ where
         std::panic::resume_unwind(payload);
     }
 
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every shard fills its slots"))
-        .collect()
+    shard_outputs.into_iter().flatten().collect()
 }
 
 /// Like [`par_map_indexed`], but each call of `f` also gets a recorder.

@@ -280,7 +280,11 @@ impl Transformation {
         // systematic confusions).
         let mut engine_subsets: Vec<Vec<TileImage>> = vec![Vec::new(); k];
         for t in &train_tiles {
-            engine_subsets[engine.classify(t).0].push(t.clone());
+            // Engine assignments are data-driven (expert maps decode from
+            // artifacts), so bounds-check rather than trust the context id.
+            if let Some(subset) = engine_subsets.get_mut(engine.classify(t).0) {
+                subset.push(t.clone());
+            }
         }
 
         // Training is embarrassingly parallel across models: every task's
@@ -310,9 +314,13 @@ impl Transformation {
             ha.total_cmp(&hb)
         });
         for pair in order.chunks_exact(2) {
-            let (a, b) = (pair[0], pair[1]);
-            let mut union: Vec<TileImage> = engine_subsets[a].clone();
-            union.extend(engine_subsets[b].iter().cloned());
+            let (a, b) = match *pair {
+                [a, b] => (a, b),
+                _ => continue,
+            };
+            let mut union: Vec<TileImage> =
+                engine_subsets.get(a).cloned().unwrap_or_default();
+            union.extend(engine_subsets.get(b).into_iter().flatten().cloned());
             if union.len() >= MIN_CONTEXT_TILES {
                 tasks.push(TrainTask::Merged(a, b, union));
             }
@@ -357,7 +365,11 @@ impl Transformation {
         for (task, model) in tasks.iter().skip(1).zip(trained_iter) {
             match task {
                 TrainTask::Global => {}
-                TrainTask::Context(c, _) => context_models[*c] = Some(model),
+                TrainTask::Context(c, _) => {
+                    if let Some(slot) = context_models.get_mut(*c) {
+                        *slot = Some(model);
+                    }
+                }
                 TrainTask::Merged(..) => merged_models.push(model),
             }
         }
@@ -374,7 +386,9 @@ impl Transformation {
         // matching what the runtime will experience.
         let mut groups: Vec<Vec<&TileImage>> = vec![Vec::new(); k];
         for t in &val_tiles {
-            groups[engine.classify(t).0].push(t);
+            if let Some(group) = groups.get_mut(engine.classify(t).0) {
+                group.push(t);
+            }
         }
         let total_val = val_tiles.len().max(1) as f64;
 
@@ -385,13 +399,18 @@ impl Transformation {
         let mut global_eval_all = ConfusionMatrix::new();
         let mut composite_eval_all = ConfusionMatrix::new();
 
-        for c in 0..k {
-            let group = &groups[c];
+        for (c, group) in groups.iter().enumerate() {
             context_weights.push(group.len() as f64 / total_val);
             let hv = if group.is_empty() {
                 contexts.context(crate::context::ContextId(c)).high_value_fraction
             } else {
-                group.iter().map(|t| t.high_value_fraction()).sum::<f64>() / group.len() as f64
+                // Serial left-to-right accumulation in group order pins the
+                // (non-associative) f64 reduction order.
+                let mut hv_sum = 0.0;
+                for t in group.iter() {
+                    hv_sum += t.high_value_fraction();
+                }
+                hv_sum / group.len() as f64
             };
             context_hv.push(hv);
 
@@ -399,7 +418,7 @@ impl Transformation {
             global_eval_all += global_cm;
             global_eval_per_context.push(global_cm);
 
-            match &context_models[c] {
+            match context_models.get(c).and_then(|slot| slot.as_ref()) {
                 Some(model) if !group.is_empty() => {
                     let cm = model.evaluate(group.iter().copied());
                     composite_eval_all += cm;
@@ -420,10 +439,11 @@ impl Transformation {
                 (0..k)
                     .map(|c| {
                         let covered = m.scope().covers(crate::context::ContextId(c));
-                        if covered && !groups[c].is_empty() {
-                            Some(m.evaluate(groups[c].iter().copied()))
-                        } else {
-                            None
+                        match groups.get(c) {
+                            Some(group) if covered && !group.is_empty() => {
+                                Some(m.evaluate(group.iter().copied()))
+                            }
+                            _ => None,
                         }
                     })
                     .collect()

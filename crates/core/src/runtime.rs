@@ -294,13 +294,17 @@ impl Runtime {
         if let Some(f) = injection {
             if let Some(upset) = frame_faults.seu {
                 let models = self.logic.models();
-                if !models.is_empty() {
-                    let slot = (upset.weight_index % models.len() as u64) as usize;
+                let slot = upset
+                    .weight_index
+                    .checked_rem(models.len() as u64)
+                    .unwrap_or(0) as usize;
+                // An empty model table yields no slot and no injection.
+                if let Some(original) = models.get(slot) {
                     recorder.count(CounterId::FaultSeuInjected, 1);
                     recorder.event(TelemetryEvent::FaultInjected {
                         kind: FaultKind::Seu,
                     });
-                    let mut victim = models[slot].clone();
+                    let mut victim = original.clone();
                     victim.corrupt_weight_bit(upset.weight_index, upset.bit);
                     if f.reference.get(slot) != Some(&victim.weight_checksum()) {
                         fallback_slot = Some(slot);
@@ -399,11 +403,25 @@ impl Runtime {
                     recorder.span(StageId::Elision, 0.0, 1);
                 }
                 Action::Process { model_index } => {
-                    outcome.tiles_processed += 1;
                     let model = match (fallback_slot, injection) {
                         (Some(slot), Some(f)) if slot == model_index => &f.fallback,
-                        _ => &self.logic.models()[model_index],
+                        _ => match self.logic.models().get(model_index) {
+                            Some(m) => m,
+                            None => {
+                                // A policy referencing a missing model
+                                // slot must not abort the frame: fall
+                                // back to the bent-pipe action, like the
+                                // classify-exhausted path above.
+                                outcome.tiles_elided += 1;
+                                outcome.sent_px += px;
+                                outcome.value_px += clear_px;
+                                recorder.count(CounterId::TilesDownlinked, 1);
+                                recorder.span(StageId::Elision, 0.0, 1);
+                                continue;
+                            }
+                        },
                     };
+                    outcome.tiles_processed += 1;
                     let inference = self
                         .latency
                         .specialized_tile_time(self.logic.arch(), model.ops_ratio())

@@ -370,13 +370,15 @@ impl SelectionLogic {
         self.grid * self.grid
     }
 
-    /// The action for a context.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the context id is out of range.
+    /// The action for a context. An out-of-range context id (possible
+    /// only for a hand-built policy; decoded and synthesized policies
+    /// are validated) degrades to the bent-pipe `Downlink` action
+    /// rather than aborting the pipeline.
     pub fn action_for(&self, context: crate::context::ContextId) -> Action {
-        self.actions[context.0]
+        self.actions
+            .get(context.0)
+            .copied()
+            .unwrap_or(Action::Downlink)
     }
 
     /// All per-context actions, indexed by context id.

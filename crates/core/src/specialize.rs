@@ -364,17 +364,26 @@ fn sample_training_pixels(
         if y.len() >= max_pixels {
             break;
         }
-        let tile = &tiles[idx];
+        let tile = match tiles.get(idx) {
+            Some(tile) => tile,
+            None => continue,
+        };
         let feats = tile_features(tile, resolution);
         let labels = tile_labels(tile, resolution);
         let total = labels.len();
         let take = per_tile.min(total).min(max_pixels - y.len());
-        let stride = (total / take).max(1);
+        let stride = (total / take.max(1)).max(1);
         let mut taken = 0;
         let mut i = 0;
         while taken < take && i < total {
-            x.extend_from_slice(&feats[i * FEATURE_DIM..i * FEATURE_DIM + feature_budget]);
-            y.push(labels[i]);
+            let start = i * FEATURE_DIM;
+            match (feats.get(start..start + feature_budget), labels.get(i)) {
+                (Some(row), Some(&label)) => {
+                    x.extend_from_slice(row);
+                    y.push(label);
+                }
+                _ => break,
+            }
             taken += 1;
             i += stride;
         }

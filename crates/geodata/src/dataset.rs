@@ -136,7 +136,12 @@ impl Dataset {
 
     /// Dataset-wide cloud (low-value) pixel fraction.
     pub fn cloud_fraction(&self) -> f64 {
-        let total: f64 = self.frames.iter().map(FrameImage::cloud_fraction).sum();
+        // Serial left-to-right accumulation in frame order pins the
+        // (non-associative) f64 reduction order.
+        let mut total = 0.0;
+        for frame in &self.frames {
+            total += frame.cloud_fraction();
+        }
         total / self.frames.len() as f64
     }
 
@@ -163,13 +168,14 @@ impl Dataset {
         }
         let n_train = ((self.frames.len() as f64) * train_fraction).round() as usize;
         let n_train = n_train.clamp(1, self.frames.len() - 1);
-        let train = indices[..n_train]
+        let (train_idx, val_idx) = indices.split_at(n_train.min(indices.len()));
+        let train = train_idx
             .iter()
-            .map(|&i| self.frames[i].clone())
+            .filter_map(|&i| self.frames.get(i).cloned())
             .collect();
-        let val = indices[n_train..]
+        let val = val_idx
             .iter()
-            .map(|&i| self.frames[i].clone())
+            .filter_map(|&i| self.frames.get(i).cloned())
             .collect();
         (Dataset { frames: train }, Dataset { frames: val })
     }
@@ -187,7 +193,7 @@ fn render_parallel(
 ) -> Vec<FrameImage> {
     // geodata sits below kodan_core in the dependency graph and cannot
     // use par; order-keyed slots give the same guarantee.
-    // lint:allow(thread-discipline): pre-par threading, results index-keyed
+    // lint:allow(thread-discipline): par lives above geodata in the dep graph; the probe only sizes the pool, never the output
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -200,7 +206,7 @@ fn render_parallel(
     }
     let mut slots: Vec<Option<FrameImage>> = vec![None; placements.len()];
     let chunk = placements.len().div_ceil(workers);
-    // lint:allow(thread-discipline): pre-par threading, results index-keyed
+    // lint:allow(thread-discipline): scoped spawn writes disjoint index-keyed slots, so output equals the serial render order
     crossbeam::scope(|scope| {
         for (slot_chunk, place_chunk) in
             slots.chunks_mut(chunk).zip(placements.chunks(chunk))

@@ -48,10 +48,18 @@ impl SurfaceType {
 
     /// Index of this type within [`SurfaceType::ALL`].
     pub fn index(self) -> usize {
-        SurfaceType::ALL
-            .iter()
-            .position(|&s| s == self)
-            .expect("ALL contains every variant")
+        // Exhaustive match keeps this total: adding a variant without
+        // updating ALL is a compile error here, not a runtime panic.
+        match self {
+            SurfaceType::Ocean => 0,
+            SurfaceType::Forest => 1,
+            SurfaceType::Grassland => 2,
+            SurfaceType::Desert => 3,
+            SurfaceType::Urban => 4,
+            SurfaceType::Snow => 5,
+            SurfaceType::Tundra => 6,
+            SurfaceType::Wetland => 7,
+        }
     }
 
     /// Short human-readable name.

@@ -25,7 +25,13 @@ pub const TABLE1_MS: [[f64; 3]; 7] = [
 /// Looks up the measured per-tile time for an architecture on a target,
 /// in milliseconds.
 pub fn per_tile_ms(arch: ModelArch, target: HwTarget) -> f64 {
-    TABLE1_MS[arch.index()][target.index()]
+    // `index()` is total and in-bounds by construction; the fallback (the
+    // slowest measured entry) is a conservative latency, never a panic.
+    TABLE1_MS
+        .get(arch.index())
+        .and_then(|row| row.get(target.index()))
+        .copied()
+        .unwrap_or(2545.0)
 }
 
 #[cfg(test)]

@@ -30,10 +30,13 @@ impl HwTarget {
 
     /// 0-based index within [`HwTarget::ALL`].
     pub fn index(self) -> usize {
-        HwTarget::ALL
-            .iter()
-            .position(|&t| t == self)
-            .expect("ALL contains every variant")
+        // Exhaustive match keeps this total: adding a variant without
+        // updating ALL is a compile error here, not a runtime panic.
+        match self {
+            HwTarget::Gtx1070Ti => 0,
+            HwTarget::CoreI7_7800X => 1,
+            HwTarget::OrinAgx15W => 2,
+        }
     }
 
     /// Short display name as used in the paper's figures.
@@ -73,8 +76,9 @@ mod tests {
     #[test]
     fn three_targets_in_paper_order() {
         assert_eq!(HwTarget::ALL.len(), 3);
-        assert_eq!(HwTarget::Gtx1070Ti.index(), 0);
-        assert_eq!(HwTarget::OrinAgx15W.index(), 2);
+        for (i, target) in HwTarget::ALL.iter().enumerate() {
+            assert_eq!(target.index(), i);
+        }
         assert_eq!(HwTarget::CoreI7_7800X.name(), "i7-7800");
     }
 

@@ -1,0 +1,342 @@
+//! The workspace call graph and its reachability queries.
+//!
+//! Nodes are the non-test `fn` items parsed from the eight deterministic
+//! crates; edges over-approximate calls by resolving names, not types:
+//!
+//! - `Type::f(..)` resolves to the `f` defined on `Type` (exactly);
+//! - `Self::f(..)` resolves within the caller's own `impl`;
+//! - `module::f(..)`, free `f(..)` and method `.f(..)` calls resolve to
+//!   *every* workspace function named `f`.
+//!
+//! Over-approximation is the safe direction for a gate: a spurious edge
+//! costs one review, a missing edge hides a panic from the reachability
+//! pass. Everything — node ids, edge lists, BFS order — is sorted so
+//! graph construction and the witness chains derived from it are
+//! byte-stable across runs (asserted by the determinism test in the lint
+//! gate).
+
+use crate::scan::FileAnalysis;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One function in the call graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// `Owner::name` or bare `name` — the display form used everywhere.
+    pub display: String,
+    /// The function's own name.
+    pub name: String,
+    /// The `impl`/`trait` owner, if any.
+    pub owner: Option<String>,
+    /// The implemented trait's last path segment, if any.
+    pub trait_name: Option<String>,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Index of the file in the analysis set.
+    pub file: usize,
+    /// Index of the item within that file's parsed items.
+    pub item: usize,
+    /// True when this node is a protected entry point.
+    pub entry: bool,
+}
+
+/// The protected entry points: code the ground cannot help once it runs.
+///
+/// - `Runtime::process_frame*` — the per-frame on-orbit hot path;
+/// - `Mission::run*` — the mission simulation driving that path;
+/// - `Transformation::run*` — ground-side pipeline synthesis whose
+///   outputs are uplinked verbatim;
+/// - every `wire` `Decode` impl — the first code that touches bytes
+///   arriving over the radio.
+const ENTRY_PREFIXES: [&str; 3] = [
+    "Runtime::process_frame",
+    "Mission::run",
+    "Transformation::run",
+];
+
+fn is_entry(display: &str, name: &str, trait_name: Option<&str>) -> bool {
+    ENTRY_PREFIXES.iter().any(|p| display.starts_with(p))
+        || (trait_name == Some("Decode") && name == "decode")
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All nodes, sorted by (path, line) — ids are indices into this.
+    pub nodes: Vec<Node>,
+    /// `edges[caller]` = sorted, deduplicated callee node ids.
+    pub edges: Vec<Vec<usize>>,
+    /// Sorted ids of the protected entry points.
+    pub entries: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Builds the graph from parsed files. Only files flagged `in_graph`
+    /// (the eight deterministic crates) contribute nodes; test functions
+    /// never enter the graph, as callers or callees.
+    pub fn build(files: &[FileAnalysis]) -> CallGraph {
+        let mut nodes: Vec<Node> = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            if !file.in_graph {
+                continue;
+            }
+            for (item_idx, item) in file.items.iter().enumerate() {
+                if item.is_test {
+                    continue;
+                }
+                let display = item.display();
+                let entry = is_entry(&display, &item.name, item.trait_name.as_deref());
+                nodes.push(Node {
+                    display,
+                    name: item.name.clone(),
+                    owner: item.owner.clone(),
+                    trait_name: item.trait_name.clone(),
+                    path: file.path.clone(),
+                    line: item.line,
+                    file: file_idx,
+                    item: item_idx,
+                    entry,
+                });
+            }
+        }
+        // Files arrive sorted by path and items in source order, so node
+        // ids are already deterministic; assert the invariant cheaply.
+        debug_assert!(nodes
+            .windows(2)
+            .all(|w| (&w[0].path, w[0].line) <= (&w[1].path, w[1].line)));
+
+        // Name indices for call resolution.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_owner_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (id, node) in nodes.iter().enumerate() {
+            by_name.entry(&node.name).or_default().push(id);
+            if let Some(owner) = &node.owner {
+                by_owner_name
+                    .entry((owner.as_str(), &node.name))
+                    .or_default()
+                    .push(id);
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (caller, node) in nodes.iter().enumerate() {
+            let item = &files[node.file].items[node.item];
+            let mut targets: BTreeSet<usize> = BTreeSet::new();
+            for call in &item.calls {
+                match call.qualifier.as_deref() {
+                    Some("Self") => {
+                        if let Some(owner) = &node.owner {
+                            if let Some(ids) = by_owner_name.get(&(owner.as_str(), call.name.as_str())) {
+                                targets.extend(ids);
+                            }
+                        }
+                    }
+                    Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                        // `Type::f` — exact owner match only; a type not
+                        // defined in the workspace contributes no edge.
+                        if let Some(ids) = by_owner_name.get(&(q, call.name.as_str())) {
+                            targets.extend(ids);
+                        }
+                    }
+                    _ => {
+                        // Free, module-qualified, or method call: every
+                        // function with this name.
+                        if let Some(ids) = by_name.get(call.name.as_str()) {
+                            targets.extend(ids);
+                        }
+                    }
+                }
+            }
+            targets.remove(&caller); // self-loops add nothing to chains
+            edges[caller] = targets.into_iter().collect();
+        }
+
+        let entries: Vec<usize> = nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, n)| n.entry.then_some(id))
+            .collect();
+
+        CallGraph {
+            nodes,
+            edges,
+            entries,
+        }
+    }
+
+    /// Multi-source BFS from the entry points. Returns, for each node,
+    /// `Some(predecessor)` when reachable (entries are their own
+    /// predecessor), `None` otherwise. Entries are seeded in id order and
+    /// adjacency lists are sorted, so the predecessor assignment — and
+    /// therefore every witness chain — is deterministic and shortest.
+    pub fn reachability(&self) -> Vec<Option<usize>> {
+        let mut pred: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &entry in &self.entries {
+            pred[entry] = Some(entry);
+            queue.push_back(entry);
+        }
+        while let Some(node) = queue.pop_front() {
+            for &next in &self.edges[node] {
+                if pred[next].is_none() {
+                    pred[next] = Some(node);
+                    queue.push_back(next);
+                }
+            }
+        }
+        pred
+    }
+
+    /// The witness chain for `node` under a reachability assignment:
+    /// entry first, `node` last, each step rendered as
+    /// `Display (path:line)`.
+    pub fn chain(&self, pred: &[Option<usize>], node: usize) -> Vec<String> {
+        let mut ids = vec![node];
+        let mut cur = node;
+        while let Some(p) = pred[cur] {
+            if p == cur {
+                break;
+            }
+            ids.push(p);
+            cur = p;
+        }
+        ids.reverse();
+        ids.iter()
+            .map(|&id| {
+                let n = &self.nodes[id];
+                format!("{} ({}:{})", n.display, n.path, n.line)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::file_analysis_for_test;
+
+    fn graph_of(sources: &[(&str, &str)]) -> (CallGraph, Vec<FileAnalysis>) {
+        let mut files: Vec<FileAnalysis> = sources
+            .iter()
+            .map(|(path, src)| file_analysis_for_test(path, src))
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        let graph = CallGraph::build(&files);
+        (graph, files)
+    }
+
+    #[test]
+    fn entry_points_are_detected() {
+        let (graph, _) = graph_of(&[(
+            "crates/core/src/runtime.rs",
+            "impl Runtime {\n    pub fn process_frame(&self) {}\n    pub fn process_frames(&self) {}\n    fn helper(&self) {}\n}\n",
+        )]);
+        let entries: Vec<&str> = graph
+            .entries
+            .iter()
+            .map(|&id| graph.nodes[id].display.as_str())
+            .collect();
+        assert_eq!(
+            entries,
+            vec!["Runtime::process_frame", "Runtime::process_frames"]
+        );
+    }
+
+    #[test]
+    fn decode_impls_are_entry_points() {
+        let (graph, _) = graph_of(&[(
+            "crates/wire/src/codec.rs",
+            "impl Decode for Policy {\n    fn decode(d: &mut Dec) -> Self { Policy }\n}\nimpl Policy {\n    fn decode_other(&self) {}\n}\n",
+        )]);
+        assert_eq!(graph.entries.len(), 1);
+        assert_eq!(graph.nodes[graph.entries[0]].display, "Policy::decode");
+    }
+
+    #[test]
+    fn qualified_calls_resolve_exactly() {
+        let (graph, _) = graph_of(&[(
+            "crates/core/src/a.rs",
+            "impl A {\n    fn go(&self) { B::make(); }\n    fn make(&self) {}\n}\nimpl B {\n    fn make() {}\n}\n",
+        )]);
+        let go = graph
+            .nodes
+            .iter()
+            .position(|n| n.display == "A::go")
+            .unwrap();
+        let callees: Vec<&str> = graph.edges[go]
+            .iter()
+            .map(|&id| graph.nodes[id].display.as_str())
+            .collect();
+        // `B::make()` must not link to `A::make`.
+        assert_eq!(callees, vec!["B::make"]);
+    }
+
+    #[test]
+    fn method_calls_over_approximate_by_name() {
+        let (graph, _) = graph_of(&[(
+            "crates/core/src/a.rs",
+            "impl A {\n    fn go(&self, m: &M) { m.predict(); }\n}\nimpl M {\n    fn predict(&self) {}\n}\nimpl N {\n    fn predict(&self) {}\n}\n",
+        )]);
+        let go = graph
+            .nodes
+            .iter()
+            .position(|n| n.display == "A::go")
+            .unwrap();
+        assert_eq!(graph.edges[go].len(), 2, "both predict impls are linked");
+    }
+
+    #[test]
+    fn test_functions_never_enter_the_graph() {
+        let (graph, _) = graph_of(&[(
+            "crates/core/src/a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { live(); }\n}\n",
+        )]);
+        assert_eq!(graph.nodes.len(), 1);
+        assert_eq!(graph.nodes[0].display, "live");
+    }
+
+    #[test]
+    fn non_deterministic_crates_stay_out() {
+        let (graph, _) = graph_of(&[
+            ("crates/cli/src/main.rs", "fn main() { helper(); }\n"),
+            ("crates/core/src/a.rs", "fn helper() {}\n"),
+        ]);
+        assert_eq!(graph.nodes.len(), 1);
+        assert_eq!(graph.nodes[0].display, "helper");
+    }
+
+    #[test]
+    fn reachability_walks_call_chains() {
+        let (graph, _) = graph_of(&[(
+            "crates/core/src/runtime.rs",
+            "impl Runtime {\n    pub fn process_frame(&self) { step_a(); }\n}\nfn step_a() { step_b(); }\nfn step_b() {}\nfn orphan() {}\n",
+        )]);
+        let pred = graph.reachability();
+        let idx = |d: &str| graph.nodes.iter().position(|n| n.display == d).unwrap();
+        assert!(pred[idx("step_b")].is_some());
+        assert!(pred[idx("orphan")].is_none());
+        let chain = graph.chain(&pred, idx("step_b"));
+        assert_eq!(chain.len(), 3);
+        assert!(chain[0].starts_with("Runtime::process_frame "));
+        assert!(chain[2].starts_with("step_b "));
+    }
+
+    #[test]
+    fn chains_are_shortest_and_deterministic() {
+        // Two routes to `sink`: direct from the entry and via `mid`.
+        let src = "impl Mission {\n    pub fn run(&self) { sink(); mid(); }\n}\nfn mid() { sink(); }\nfn sink() {}\n";
+        let (graph, _) = graph_of(&[("crates/cote/src/mission.rs", src)]);
+        let pred = graph.reachability();
+        let sink = graph
+            .nodes
+            .iter()
+            .position(|n| n.display == "sink")
+            .unwrap();
+        let chain = graph.chain(&pred, sink);
+        assert_eq!(chain.len(), 2, "BFS must pick the direct route");
+        // And the whole assignment is identical across rebuilds.
+        let (graph2, _) = graph_of(&[("crates/cote/src/mission.rs", src)]);
+        assert_eq!(graph2.reachability(), pred);
+    }
+}

@@ -1,0 +1,137 @@
+//! Byte-stable JSON rendering for reports and call graphs.
+//!
+//! Hand-rolled so the analyzer stays dependency-free and its output is
+//! deterministic down to the byte: key order is fixed, numbers are plain
+//! decimal, and strings escape exactly quotes, backslashes and control
+//! characters. The lint gate snapshots this output verbatim.
+
+use crate::graph::CallGraph;
+use crate::scan::Report;
+
+/// Renders a report as the `kodan-lint --format json` document.
+pub fn render_report(report: &Report) -> String {
+    let mut out = String::from("{\n  \"files_scanned\": ");
+    out.push_str(&report.files_scanned.to_string());
+    out.push_str(",\n  \"exit_code\": ");
+    out.push_str(&report.exit_code().to_string());
+    out.push_str(",\n  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"path\": ");
+        out.push_str(&json_str(&d.path));
+        out.push_str(", \"line\": ");
+        out.push_str(&d.line.to_string());
+        out.push_str(", \"rule\": ");
+        out.push_str(&json_str(d.rule_id));
+        out.push_str(", \"category\": ");
+        out.push_str(&json_str(d.category.name()));
+        out.push_str(", \"message\": ");
+        out.push_str(&json_str(&d.message));
+        out.push_str(", \"snippet\": ");
+        out.push_str(&json_str(&d.snippet));
+        out.push_str(", \"chain\": [");
+        for (j, step) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(step));
+        }
+        out.push_str("]}");
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+/// Renders the call graph as the `kodan-lint check --call-graph`
+/// document: nodes sorted by (path, line), edges as id pairs.
+pub fn render_call_graph(graph: &CallGraph) -> String {
+    let mut out = String::from("{\n  \"nodes\": [");
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"id\": ");
+        out.push_str(&i.to_string());
+        out.push_str(", \"fn\": ");
+        out.push_str(&json_str(&n.display));
+        out.push_str(", \"path\": ");
+        out.push_str(&json_str(&n.path));
+        out.push_str(", \"line\": ");
+        out.push_str(&n.line.to_string());
+        out.push_str(", \"entry\": ");
+        out.push_str(if n.entry { "true" } else { "false" });
+        out.push('}');
+    }
+    if !graph.nodes.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"edges\": [");
+    let mut first = true;
+    for (caller, callees) in graph.edges.iter().enumerate() {
+        for &callee in callees {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    [");
+            out.push_str(&caller.to_string());
+            out.push_str(", ");
+            out.push_str(&callee.to_string());
+            out.push(']');
+        }
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+/// Minimal JSON string encoder (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_controls() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_renders_closed_arrays() {
+        let doc = render_report(&Report::default());
+        assert!(doc.contains("\"diagnostics\": []"));
+        assert!(doc.contains("\"exit_code\": 0"));
+    }
+
+    #[test]
+    fn empty_graph_renders_closed_arrays() {
+        let doc = render_call_graph(&CallGraph::default());
+        assert!(doc.contains("\"nodes\": []"));
+        assert!(doc.contains("\"edges\": []"));
+    }
+}

@@ -21,6 +21,17 @@
 //! ([`lexer`]), a rule table with per-path scoping ([`rules`]), and a
 //! scanner that walks the tree and reports violations ([`scan`]).
 //!
+//! On top of the line rules sits an interprocedural layer: a lightweight
+//! item parser ([`parse`]) recovers functions, call expressions and
+//! panic seeds from the masked code; a call-graph builder ([`graph`])
+//! links them across the eight deterministic crates; and three
+//! graph-backed passes ([`passes`]) report panic sources and
+//! order-sensitive float reductions *reachable from protected entry
+//! points* (`Runtime::process_frame*`, `Mission::run*`,
+//! `Transformation::run*`, every `wire` `Decode` impl), each diagnostic
+//! carrying the witness call chain, plus an audit that flags
+//! `lint:allow` directives that no longer suppress anything.
+//!
 //! # Using the library
 //!
 //! ```
@@ -57,9 +68,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod graph;
+pub mod json;
 pub mod lexer;
+pub mod parse;
+pub mod passes;
 pub mod rules;
 pub mod scan;
 
-pub use rules::{default_rules, Category, Rule, RuleKind, ScopedRule};
-pub use scan::{check, scan_source, Diagnostic, Report};
+pub use graph::CallGraph;
+pub use rules::{default_rules, known_rule_ids, Category, Rule, RuleKind, ScopedRule};
+pub use scan::{analyze, analyze_sources, check, scan_source, Analysis, Diagnostic, Report};

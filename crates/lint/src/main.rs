@@ -1,7 +1,7 @@
 //! The `kodan-lint` command-line driver.
 //!
 //! ```text
-//! kodan-lint check [--root <dir>] [--format text|json]
+//! kodan-lint check [--root <dir>] [--format text|json] [--call-graph]
 //! kodan-lint --list-rules
 //! ```
 //!
@@ -11,7 +11,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use kodan_lint::{check, default_rules, Report};
+use kodan_lint::json::{render_call_graph, render_report};
+use kodan_lint::{analyze, default_rules, passes, Report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,9 +20,12 @@ const USAGE: &str = "\
 kodan-lint: determinism & panic-safety analyzer for the Kodan workspace
 
 USAGE:
-    kodan-lint check [--root <dir>] [--format text|json]
+    kodan-lint check [--root <dir>] [--format text|json] [--call-graph]
     kodan-lint --list-rules
     kodan-lint --help
+
+--call-graph dumps the workspace call graph (nodes, edges, entry
+points) as JSON instead of the diagnostics report.
 
 Exit code is 0 when clean, else the OR of: 1 determinism,
 2 panic-safety, 4 hygiene. Usage errors exit 64.";
@@ -46,6 +50,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut root = PathBuf::from(".");
     let mut format = Format::Text;
     let mut command = None;
+    let mut call_graph = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -68,6 +73,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     }
                 };
             }
+            "--call-graph" => call_graph = true,
             "--list-rules" => {
                 list_rules();
                 return Ok(ExitCode::SUCCESS);
@@ -84,12 +90,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match command {
         Some("check") => {
             let rules = default_rules();
-            let report = check(&root, &rules).map_err(|e| format!("scan failed: {e}"))?;
-            match format {
-                Format::Text => print_text(&report),
-                Format::Json => print_json(&report),
+            let analysis = analyze(&root, &rules).map_err(|e| format!("scan failed: {e}"))?;
+            if call_graph {
+                println!("{}", render_call_graph(&analysis.graph));
+                return Ok(ExitCode::SUCCESS);
             }
-            let code = report.exit_code();
+            match format {
+                Format::Text => print_text(&analysis.report),
+                Format::Json => println!("{}", render_report(&analysis.report)),
+            }
+            let code = analysis.report.exit_code();
             Ok(ExitCode::from(u8::try_from(code).unwrap_or(u8::MAX)))
         }
         _ => Err("no command given (try `kodan-lint check`)".to_string()),
@@ -103,7 +113,24 @@ fn list_rules() {
             "{:<18} {:<13} {}",
             scoped.rule.id,
             scoped.rule.category.name(),
-            scoped.rule.description.split_whitespace().collect::<Vec<_>>().join(" "),
+            scoped
+                .rule
+                .description
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
+    for graph_rule in passes::GRAPH_RULES {
+        println!(
+            "{:<18} {:<13} {}",
+            graph_rule.id,
+            graph_rule.category.name(),
+            graph_rule
+                .description
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" "),
         );
     }
 }
@@ -119,58 +146,13 @@ fn print_text(report: &Report) {
             d.message.split_whitespace().collect::<Vec<_>>().join(" "),
             d.snippet,
         );
+        for (i, step) in d.chain.iter().enumerate() {
+            println!("    {}{}", "  ".repeat(i), step);
+        }
     }
     println!(
         "kodan-lint: {} file(s) scanned, {} violation(s)",
         report.files_scanned,
         report.diagnostics.len()
     );
-}
-
-fn print_json(report: &Report) {
-    let mut out = String::from("{\n  \"files_scanned\": ");
-    out.push_str(&report.files_scanned.to_string());
-    out.push_str(",\n  \"exit_code\": ");
-    out.push_str(&report.exit_code().to_string());
-    out.push_str(",\n  \"diagnostics\": [");
-    for (i, d) in report.diagnostics.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str("\n    {\"path\": ");
-        out.push_str(&json_str(&d.path));
-        out.push_str(", \"line\": ");
-        out.push_str(&d.line.to_string());
-        out.push_str(", \"rule\": ");
-        out.push_str(&json_str(d.rule_id));
-        out.push_str(", \"category\": ");
-        out.push_str(&json_str(d.category.name()));
-        out.push_str(", \"snippet\": ");
-        out.push_str(&json_str(&d.snippet));
-        out.push('}');
-    }
-    if !report.diagnostics.is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str("]\n}");
-    println!("{out}");
-}
-
-/// Minimal JSON string encoder (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }

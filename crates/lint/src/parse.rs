@@ -1,0 +1,903 @@
+//! A lightweight Rust *item* parser for interprocedural analysis.
+//!
+//! The line-scoped rules in [`crate::rules`] see one line at a time; the
+//! graph-backed passes ([`crate::passes`]) need to know which *function*
+//! a line belongs to, what that function calls, and which panic sources
+//! it contains. This module recovers exactly that — and nothing more —
+//! from the lexer's code mask:
+//!
+//! - `fn` items with their owner (`impl` type or `trait` name), their
+//!   declaration line and body span;
+//! - call expressions inside each body: free calls (`helper(..)`),
+//!   method calls (`.classify(..)`) and qualified calls
+//!   (`Matrix::zeros(..)`, `Self::validate(..)`);
+//! - panic seeds: `unwrap`/`expect`, panic-family macros, slice/array
+//!   indexing, and integer-looking division/modulo by a non-literal.
+//!
+//! It is *not* a type checker: method receivers are resolved by name
+//! downstream ([`crate::graph`]), which over-approximates the true call
+//! graph. For a lint gate that is the right bias — a hazard behind an
+//! over-approximated edge is reviewed once; a hazard behind a missed
+//! edge sails into orbit.
+
+use crate::lexer::MaskedLine;
+
+/// What kind of panic a seed can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeedKind {
+    /// `.unwrap()` on an `Option`/`Result`.
+    Unwrap,
+    /// `.expect(..)` on an `Option`/`Result`.
+    Expect,
+    /// `panic!`, `todo!` or `unimplemented!`.
+    PanicMacro,
+    /// Slice/array indexing or range slicing (`xs[i]`, `&xs[a..b]`).
+    SliceIndex,
+    /// Integer-looking division or modulo by a non-literal denominator.
+    IntDiv,
+}
+
+impl SeedKind {
+    /// Stable lower-case label used in diagnostics and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeedKind::Unwrap => "unwrap()",
+            SeedKind::Expect => "expect()",
+            SeedKind::PanicMacro => "panic-family macro",
+            SeedKind::SliceIndex => "slice/array indexing",
+            SeedKind::IntDiv => "unchecked integer division",
+        }
+    }
+}
+
+/// One panic source inside a function body.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// What kind of panic it can raise.
+    pub kind: SeedKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// The called name (`classify`, `tile_frame`, ...).
+    pub name: String,
+    /// The `Path` before `::name(..)`, when present (`Matrix`, `Self`,
+    /// `par`); `None` for free calls and `.name(..)` method calls.
+    pub qualifier: Option<String>,
+    /// True for `.name(..)` method-call syntax.
+    pub is_method: bool,
+    /// 1-based source line of the call.
+    pub line: usize,
+}
+
+/// One `fn` item recovered from a source file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's own name.
+    pub name: String,
+    /// The `impl` type (or `trait` name) the function is defined on,
+    /// `None` for free functions.
+    pub owner: Option<String>,
+    /// For functions inside `impl Trait for Type`, the trait's last
+    /// path segment (`Decode` for `impl wire::Decode for Mlp`).
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the body's closing brace (equals `line` for
+    /// bodiless declarations).
+    pub end_line: usize,
+    /// True when the item sits inside a `#[cfg(test)]` region or carries
+    /// a `#[test]`-family attribute.
+    pub is_test: bool,
+    /// Call expressions in the body, in source order.
+    pub calls: Vec<Call>,
+    /// Panic seeds in the body, in source order.
+    pub seeds: Vec<Seed>,
+}
+
+impl FnItem {
+    /// `Owner::name` when the function has an owner, else `name` — the
+    /// stable display form used by diagnostics and the graph JSON.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A token of the code mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+/// Splits masked code into identifier / number / punctuation tokens with
+/// line numbers. Non-code bytes were already blanked by the lexer, so a
+/// string literal or comment can never produce a token.
+fn tokenize(lines: &[MaskedLine]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for line in lines {
+        let bytes = line.code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_whitespace() {
+                i += 1;
+            } else if b.is_ascii_alphabetic() || b == b'_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(line.code[start..i].to_string()),
+                    line: line.number,
+                });
+            } else if b.is_ascii_digit() {
+                let start = i;
+                // Numbers swallow alphanumerics, `_` and a decimal point
+                // (covers 1_000, 0xFF, 2.5, 1e-9's mantissa, 3f64).
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || (bytes[i] == b'.'
+                            && i + 1 < bytes.len()
+                            && bytes[i + 1].is_ascii_digit()))
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Number(line.code[start..i].to_string()),
+                    line: line.number,
+                });
+            } else {
+                if !b.is_ascii() {
+                    // Skip a multi-byte char wholesale.
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j] & 0xC0) == 0x80 {
+                        j += 1;
+                    }
+                    i = j;
+                    continue;
+                }
+                out.push(Token {
+                    tok: Tok::Punct(b as char),
+                    line: line.number,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Keywords that may directly precede `(` or `[` without forming a call
+/// or an indexing expression.
+const KEYWORDS: [&str; 22] = [
+    "as", "box", "break", "const", "continue", "crate", "else", "fn", "for", "if", "impl", "in",
+    "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "while",
+];
+
+fn is_keyword(name: &str) -> bool {
+    KEYWORDS.contains(&name)
+}
+
+/// Integer-typed cast targets for the division heuristic.
+const INT_TYPES: [&str; 12] = [
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// One entry of the parser's nesting stack.
+#[derive(Debug, Clone)]
+enum Scope {
+    /// An anonymous `{ .. }` (block, struct literal, match body, ...).
+    Block,
+    /// A `mod name { .. }`.
+    Mod,
+    /// An `impl Type { .. }` / `impl Trait for Type { .. }` /
+    /// `trait Name { .. }` body: (owner type, implemented trait).
+    Impl(String, Option<String>),
+    /// A function body; the index points into the result vector.
+    Fn(usize),
+}
+
+/// Parses every `fn` item in a classified source file.
+///
+/// `test_lines[i]` must be true when line `i` (0-based index into
+/// `lines`) sits inside a `#[cfg(test)]` region; the scanner computes it
+/// once per file and shares it with the line rules.
+pub fn parse_items(lines: &[MaskedLine], test_lines: &[bool]) -> Vec<FnItem> {
+    let toks = tokenize(lines);
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut stack: Vec<Scope> = Vec::new();
+    // Lines (1-based) that carry a #[test]-family attribute; the next fn
+    // at the same nesting is test code even outside #[cfg(test)].
+    let mut pending_test_attr = false;
+
+    let in_test = |line_number: usize| -> bool {
+        line_number >= 1 && test_lines.get(line_number - 1).copied().unwrap_or(false)
+    };
+
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('#') => {
+                // Attribute: `#[..]` or `#![..]` — skip it wholesale, but
+                // remember `#[test]` / `#[rstest]`-style markers.
+                let mut j = i + 1;
+                if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('!'))) {
+                    j += 1;
+                }
+                if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('['))) {
+                    let mut depth = 0usize;
+                    let mut body: Vec<&Tok> = Vec::new();
+                    while j < toks.len() {
+                        match &toks[j].tok {
+                            Tok::Punct('[') => depth += 1,
+                            Tok::Punct(']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            t => body.push(t),
+                        }
+                        j += 1;
+                    }
+                    if body
+                        .iter()
+                        .any(|t| matches!(t, Tok::Ident(id) if id == "test" || id == "bench"))
+                    {
+                        pending_test_attr = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "mod" => {
+                // `mod name {` opens a module scope; `mod name;` does not.
+                let mut j = i + 1;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('{') => {
+                            stack.push(Scope::Mod);
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                i = j + 1;
+            }
+            Tok::Ident(kw) if kw == "impl" || kw == "trait" => {
+                let is_trait = kw == "trait";
+                // Collect header tokens up to the opening brace (or `;`
+                // for `trait Alias = ..;`-style items we don't model).
+                let mut j = i + 1;
+                let mut header: Vec<&Tok> = Vec::new();
+                let mut angle = 0i32;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('{') if angle <= 0 => break,
+                        Tok::Punct(';') if angle <= 0 => break,
+                        Tok::Punct('<') => {
+                            angle += 1;
+                            header.push(&toks[j].tok);
+                        }
+                        Tok::Punct('>') => {
+                            angle -= 1;
+                            header.push(&toks[j].tok);
+                        }
+                        t => header.push(t),
+                    }
+                    j += 1;
+                }
+                if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('{'))) {
+                    let (owner, trait_name) = if is_trait {
+                        (first_path_segment(&header).unwrap_or_default(), None)
+                    } else {
+                        impl_header(&header)
+                    };
+                    stack.push(Scope::Impl(owner, trait_name));
+                }
+                i = j + 1;
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                let decl_line = toks[i].line;
+                let name = match toks.get(i + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(name)) => name.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                let (owner, trait_name) = enclosing_impl(&stack);
+                let is_test = in_test(decl_line) || pending_test_attr;
+                pending_test_attr = false;
+                // Scan the signature: body starts at the first `{` at
+                // paren depth 0; a `;` there means a bodiless declaration.
+                let mut j = i + 2;
+                let mut paren = 0i32;
+                let mut has_body = false;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('(') => paren += 1,
+                        Tok::Punct(')') => paren -= 1,
+                        Tok::Punct('{') if paren == 0 => {
+                            has_body = true;
+                            break;
+                        }
+                        Tok::Punct(';') if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                items.push(FnItem {
+                    name,
+                    owner,
+                    trait_name,
+                    line: decl_line,
+                    end_line: toks.get(j).map_or(decl_line, |t| t.line),
+                    is_test,
+                    calls: Vec::new(),
+                    seeds: Vec::new(),
+                });
+                if has_body {
+                    stack.push(Scope::Fn(items.len() - 1));
+                }
+                i = j + 1;
+            }
+            Tok::Punct('{') => {
+                stack.push(Scope::Block);
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                if let Some(scope) = stack.pop() {
+                    if let Scope::Fn(idx) = scope {
+                        items[idx].end_line = toks[i].line;
+                    }
+                }
+                i += 1;
+            }
+            _ => {
+                if let Some(idx) = enclosing_fn(&stack) {
+                    scan_expression_token(&toks, i, &mut items[idx]);
+                }
+                i += 1;
+            }
+        }
+    }
+    items
+}
+
+/// The innermost enclosing function body on the stack, if any.
+fn enclosing_fn(stack: &[Scope]) -> Option<usize> {
+    stack.iter().rev().find_map(|s| match s {
+        Scope::Fn(idx) => Some(*idx),
+        _ => None,
+    })
+}
+
+/// The innermost enclosing impl/trait scope — but not across a function
+/// boundary (a nested `fn` inside a method is a free function).
+fn enclosing_impl(stack: &[Scope]) -> (Option<String>, Option<String>) {
+    for scope in stack.iter().rev() {
+        match scope {
+            Scope::Impl(owner, trait_name) => {
+                return (Some(owner.clone()), trait_name.clone());
+            }
+            Scope::Fn(_) => return (None, None),
+            _ => {}
+        }
+    }
+    (None, None)
+}
+
+/// Last segment of the first `::`-path in an item header, generics
+/// stripped (`kodan_wire::Decode<T>` -> `Decode`).
+fn first_path_segment(header: &[&Tok]) -> Option<String> {
+    let mut last = None;
+    let mut angle = 0i32;
+    for tok in header {
+        match tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Ident(id) if angle == 0 => {
+                if id == "where" || id == "for" {
+                    break;
+                }
+                last = Some(id.clone());
+            }
+            Tok::Punct('{') => break,
+            _ => {}
+        }
+    }
+    last
+}
+
+/// Splits an `impl` header into (owner type, implemented trait):
+/// `impl Type` -> (Type, None); `impl Trait for Type` -> (Type, Trait).
+fn impl_header(header: &[&Tok]) -> (String, Option<String>) {
+    let for_pos = {
+        let mut angle = 0i32;
+        let mut pos = None;
+        for (k, tok) in header.iter().enumerate() {
+            match tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Ident(id) if angle == 0 && id == "for" => {
+                    pos = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        pos
+    };
+    match for_pos {
+        Some(pos) => {
+            let trait_name = first_path_segment(&header[..pos]);
+            let owner = first_path_segment(&header[pos + 1..]).unwrap_or_default();
+            (owner, trait_name)
+        }
+        None => (first_path_segment(header).unwrap_or_default(), None),
+    }
+}
+
+/// Inspects the token at `i` inside a function body and records any call
+/// or panic seed it starts.
+fn scan_expression_token(toks: &[Token], i: usize, item: &mut FnItem) {
+    let line = toks[i].line;
+    match &toks[i].tok {
+        Tok::Ident(name) => {
+            if is_keyword(name) {
+                return;
+            }
+            let next = toks.get(i + 1).map(|t| &t.tok);
+            if matches!(next, Some(Tok::Punct('!'))) {
+                if name == "panic" || name == "todo" || name == "unimplemented" {
+                    item.seeds.push(Seed {
+                        kind: SeedKind::PanicMacro,
+                        line,
+                    });
+                }
+                return;
+            }
+            if !matches!(next, Some(Tok::Punct('('))) {
+                return;
+            }
+            // A call: classify as method, qualified or free.
+            let prev = toks.get(i.wrapping_sub(1)).map(|t| &t.tok);
+            let prev2 = toks.get(i.wrapping_sub(2)).map(|t| &t.tok);
+            let prev3 = toks.get(i.wrapping_sub(3)).map(|t| &t.tok);
+            if matches!(prev, Some(Tok::Punct('.'))) {
+                if name == "unwrap" && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(')'))) {
+                    item.seeds.push(Seed {
+                        kind: SeedKind::Unwrap,
+                        line,
+                    });
+                    return;
+                }
+                if name == "expect" {
+                    item.seeds.push(Seed {
+                        kind: SeedKind::Expect,
+                        line,
+                    });
+                    return;
+                }
+                item.calls.push(Call {
+                    name: name.clone(),
+                    qualifier: None,
+                    is_method: true,
+                    line,
+                });
+                return;
+            }
+            let qualifier = match (prev2, prev) {
+                (Some(Tok::Punct(':')), Some(Tok::Punct(':'))) => match prev3 {
+                    Some(Tok::Ident(q)) => Some(q.clone()),
+                    // `::<f64>(..)` turbofish or `<T as Trait>::f(..)`:
+                    // treat as unqualified.
+                    _ => None,
+                },
+                _ => None,
+            };
+            item.calls.push(Call {
+                name: name.clone(),
+                qualifier,
+                is_method: false,
+                line,
+            });
+        }
+        Tok::Punct('[') => {
+            // Indexing when the bracket directly follows a value-ending
+            // token; array literals/types/attributes follow punctuation
+            // or keywords instead.
+            match toks.get(i.wrapping_sub(1)).map(|t| &t.tok) {
+                Some(Tok::Ident(prev)) if !is_keyword(prev) => {
+                    // A lifetime tick before the ident means `&'a [T]` — a
+                    // slice *type*, not an indexing expression.
+                    let lifetime = matches!(
+                        toks.get(i.wrapping_sub(2)).map(|t| &t.tok),
+                        Some(Tok::Punct('\''))
+                    );
+                    if !lifetime {
+                        item.seeds.push(Seed {
+                            kind: SeedKind::SliceIndex,
+                            line,
+                        });
+                    }
+                }
+                Some(Tok::Punct(')')) | Some(Tok::Punct(']')) | Some(Tok::Punct('?')) => {
+                    item.seeds.push(Seed {
+                        kind: SeedKind::SliceIndex,
+                        line,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Tok::Punct(op) if *op == '/' || *op == '%' => {
+            // Skip `//`, `/*`, `*/` remnants (masked anyway), and look at
+            // the denominator.
+            let mut j = i + 1;
+            if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('='))) {
+                j += 1; // compound assignment `/=`, `%=`
+            }
+            if int_division_by_non_literal(toks, j, *op) {
+                item.seeds.push(Seed {
+                    kind: SeedKind::IntDiv,
+                    line,
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The integer-division heuristic: true when the operand starting at
+/// `toks[j]` looks like a non-literal *integer* denominator.
+///
+/// Type information is out of reach for a lexical analyzer, so the
+/// heuristic is asymmetric by design — it must never flag the pervasive
+/// floating-point division in the math kernels:
+///
+/// - a numeric literal denominator never fires (a non-zero constant
+///   cannot raise a division panic, and `x / 0` is a compile error);
+/// - a denominator cast `as f64`/`as f32` never fires, one cast to an
+///   integer type always fires;
+/// - a `.len()`-terminated denominator always fires (lengths are the
+///   workspace's dominant zero-capable divisor);
+/// - a bare lower-case identifier fires only for `%` — modulo on floats
+///   is vanishingly rare while `index % n` is the classic wrap-around
+///   panic; SCREAMING_CASE consts are compile-time non-zero by review.
+fn int_division_by_non_literal(toks: &[Token], j: usize, op: char) -> bool {
+    // Collect the operand: ident/field/call path or parenthesized group.
+    let mut k = j;
+    let mut saw_len_call = false;
+    let mut bare_path = true;
+    let mut last_ident: Option<&str>;
+    match toks.get(k).map(|t| &t.tok) {
+        Some(Tok::Number(_)) => return false,
+        Some(Tok::Punct('(')) => {
+            // Parenthesized group: scan its tokens for a verdict.
+            let mut depth = 0i32;
+            let mut int_cast = false;
+            let mut float_marker = false;
+            let mut pending_as = false;
+            while k < toks.len() {
+                match &toks[k].tok {
+                    Tok::Punct('(') => depth += 1,
+                    Tok::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Ident(id) => {
+                        if pending_as {
+                            if INT_TYPES.contains(&id.as_str()) {
+                                int_cast = true;
+                            } else if id == "f64" || id == "f32" {
+                                float_marker = true;
+                            }
+                            pending_as = false;
+                        }
+                        if id == "as" {
+                            pending_as = true;
+                        }
+                    }
+                    Tok::Number(n) => {
+                        if n.contains('.') || n.contains("f64") || n.contains("f32") {
+                            float_marker = true;
+                        }
+                    }
+                    _ => pending_as = false,
+                }
+                k += 1;
+            }
+            // After the group, an `as` cast settles it.
+            if let Some(cast) = cast_after(toks, k + 1) {
+                return cast;
+            }
+            return int_cast && !float_marker;
+        }
+        Some(Tok::Ident(first)) => {
+            if is_keyword(first) {
+                return false;
+            }
+            last_ident = Some(first);
+            k += 1;
+        }
+        _ => return false,
+    }
+    // Walk `.field`, `.call(..)`, `::seg` chains.
+    loop {
+        match toks.get(k).map(|t| &t.tok) {
+            Some(Tok::Punct('.')) | Some(Tok::Punct(':')) => {
+                bare_path = bare_path && !matches!(toks.get(k).map(|t| &t.tok), Some(Tok::Punct('.')));
+                k += 1;
+                if let Some(Tok::Ident(seg)) = toks.get(k).map(|t| &t.tok) {
+                    last_ident = Some(seg);
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            Some(Tok::Punct('(')) => {
+                // A trailing call: remember if it is `.len()`.
+                if last_ident == Some("len") {
+                    saw_len_call = true;
+                }
+                bare_path = false;
+                let mut depth = 0i32;
+                while k < toks.len() {
+                    match &toks[k].tok {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                k += 1;
+            }
+            _ => break,
+        }
+    }
+    if let Some(cast) = cast_after(toks, k) {
+        return cast;
+    }
+    if saw_len_call {
+        return true;
+    }
+    // Bare identifier path: `%` by a run-time value is the classic
+    // wrap-around panic; `/` by an identifier is overwhelmingly float
+    // math in this workspace. SCREAMING_CASE denominators are consts.
+    if op == '%' {
+        if let Some(id) = last_ident {
+            let screaming = id
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+            return !screaming && bare_path;
+        }
+    }
+    false
+}
+
+/// If tokens at `k` are `as <type>`, returns `Some(true)` for an integer
+/// type and `Some(false)` for a float type; `None` when there is no cast.
+fn cast_after(toks: &[Token], k: usize) -> Option<bool> {
+    match toks.get(k).map(|t| &t.tok) {
+        Some(Tok::Ident(id)) if id == "as" => match toks.get(k + 1).map(|t| &t.tok) {
+            Some(Tok::Ident(ty)) if INT_TYPES.contains(&ty.as_str()) => Some(true),
+            Some(Tok::Ident(ty)) if ty == "f64" || ty == "f32" => Some(false),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{classify, masked_lines};
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        let classes = classify(src);
+        let lines = masked_lines(src, &classes);
+        let test_lines = vec![false; lines.len()];
+        parse_items(&lines, &test_lines)
+    }
+
+    fn parse_with_tests(src: &str) -> Vec<FnItem> {
+        let classes = classify(src);
+        let lines = masked_lines(src, &classes);
+        let test_lines = crate::scan::test_code_lines(&lines);
+        parse_items(&lines, &test_lines)
+    }
+
+    #[test]
+    fn free_function_with_call_and_seed() {
+        let items = parse("fn f(x: Option<u8>) -> u8 { helper(); x.unwrap() }\n");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "f");
+        assert_eq!(items[0].owner, None);
+        assert_eq!(items[0].calls.len(), 1);
+        assert_eq!(items[0].calls[0].name, "helper");
+        assert!(!items[0].calls[0].is_method);
+        assert_eq!(items[0].seeds.len(), 1);
+        assert_eq!(items[0].seeds[0].kind, SeedKind::Unwrap);
+    }
+
+    #[test]
+    fn impl_methods_get_their_owner() {
+        let src = "struct Runtime;\nimpl Runtime {\n    pub fn process_frame(&self) {\n        self.helper();\n    }\n    fn helper(&self) {}\n}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].display(), "Runtime::process_frame");
+        assert_eq!(items[1].display(), "Runtime::helper");
+        assert_eq!(items[0].calls.len(), 1);
+        assert!(items[0].calls[0].is_method);
+        assert_eq!(items[0].calls[0].name, "helper");
+    }
+
+    #[test]
+    fn trait_impls_record_the_trait() {
+        let src = "impl kodan_wire::Decode for Mlp {\n    fn decode(dec: &mut Dec) -> Self { todo!() }\n}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].display(), "Mlp::decode");
+        assert_eq!(items[0].trait_name.as_deref(), Some("Decode"));
+        assert_eq!(items[0].seeds.len(), 1);
+        assert_eq!(items[0].seeds[0].kind, SeedKind::PanicMacro);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let src = "impl<T: Clone> Encode for Vec<T> {\n    fn encode(&self) { inner(); }\n}\n";
+        let items = parse(src);
+        assert_eq!(items[0].owner.as_deref(), Some("Vec"));
+        assert_eq!(items[0].trait_name.as_deref(), Some("Encode"));
+    }
+
+    #[test]
+    fn nested_impls_and_shadowed_names() {
+        let src = "impl A {\n    fn go(&self) { self.go2(); }\n}\nimpl B {\n    fn go(&self) { free(); }\n}\nfn go() {}\n";
+        let items = parse(src);
+        let displays: Vec<String> = items.iter().map(FnItem::display).collect();
+        assert_eq!(displays, vec!["A::go", "B::go", "go"]);
+    }
+
+    #[test]
+    fn qualified_calls_capture_the_qualifier() {
+        let src = "fn f() { Matrix::zeros(3); par::stream_seed(1, 2); Self::check(); }\n";
+        let items = parse(src);
+        let calls = &items[0].calls;
+        assert_eq!(calls.len(), 3);
+        assert_eq!(calls[0].qualifier.as_deref(), Some("Matrix"));
+        assert_eq!(calls[1].qualifier.as_deref(), Some("par"));
+        assert_eq!(calls[2].qualifier.as_deref(), Some("Self"));
+    }
+
+    #[test]
+    fn indexing_is_a_seed_but_literals_and_types_are_not() {
+        let src = "fn f(xs: &[u8], i: usize) -> u8 {\n    let a: [u8; 2] = [1, 2];\n    let _ = &xs[1..];\n    xs[i]\n}\n";
+        let items = parse(src);
+        let kinds: Vec<SeedKind> = items[0].seeds.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SeedKind::SliceIndex, SeedKind::SliceIndex]);
+        assert_eq!(items[0].seeds[0].line, 3);
+        assert_eq!(items[0].seeds[1].line, 4);
+    }
+
+    #[test]
+    fn macro_brackets_are_not_indexing() {
+        let items = parse("fn f() -> Vec<u8> { vec![1, 2, 3] }\n");
+        assert!(items[0].seeds.is_empty());
+    }
+
+    #[test]
+    fn lifetime_slice_types_are_not_indexing() {
+        // `&'t [T]` in an enum variant or fn signature is a slice *type*:
+        // the lifetime ident before `[` must not read as an index base.
+        let src = "fn f<'t>(xs: &'t [u8]) -> &'t [u8] {\n    enum E<'a> { V(&'a [u8]) }\n    xs\n}\n";
+        let items = parse(src);
+        assert!(items[0].seeds.is_empty());
+    }
+
+    #[test]
+    fn int_division_heuristic() {
+        // `.len()` denominator fires; float casts and literals do not.
+        let fires = |expr: &str| -> bool {
+            let src = format!("fn f() {{ let _ = {expr}; }}\n");
+            parse(&src)[0]
+                .seeds
+                .iter()
+                .any(|s| s.kind == SeedKind::IntDiv)
+        };
+        assert!(fires("a / xs.len()"));
+        assert!(fires("x % n"));
+        assert!(fires("x % (k as u64)"));
+        assert!(fires("i / (n as usize)"));
+        assert!(!fires("a / xs.len() as f64"));
+        assert!(!fires("a / 2"));
+        assert!(!fires("a / 2.0"));
+        assert!(!fires("a / b"));
+        assert!(!fires("x % CHANNELS"));
+        assert!(!fires("a / (b as f64)"));
+    }
+
+    #[test]
+    fn expect_and_unwrap_variants() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap();\n    x.expect(\"reason\");\n    x.unwrap_or(0);\n    x.unwrap_or_default();\n}\n";
+        let items = parse(src);
+        let kinds: Vec<SeedKind> = items[0].seeds.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SeedKind::Unwrap, SeedKind::Expect]);
+        // unwrap_or / unwrap_or_default are calls, not seeds.
+        assert!(items[0].calls.iter().any(|c| c.name == "unwrap_or"));
+    }
+
+    #[test]
+    fn cfg_test_functions_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\n";
+        let items = parse_with_tests(src);
+        assert_eq!(items.len(), 3);
+        assert!(!items[0].is_test);
+        assert!(items[1].is_test);
+        assert!(items[2].is_test);
+    }
+
+    #[test]
+    fn test_attr_marks_integration_test_fns() {
+        let src = "#[test]\nfn gate_works() { x.unwrap(); }\nfn live() {}\n";
+        let items = parse_with_tests(src);
+        assert!(items[0].is_test);
+        assert!(!items[1].is_test);
+    }
+
+    #[test]
+    fn bodiless_trait_methods_have_no_span() {
+        let src = "trait Engine {\n    fn classify(&self) -> u8;\n    fn name(&self) -> &str { \"x\" }\n}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].display(), "Engine::classify");
+        assert_eq!(items[0].end_line, items[0].line);
+        assert_eq!(items[1].display(), "Engine::name");
+    }
+
+    #[test]
+    fn closures_attribute_to_the_enclosing_fn() {
+        let src = "fn outer(xs: &[u64]) -> u64 {\n    xs.iter().map(|x| inner(*x)).sum()\n}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert!(items[0].calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn nested_fn_is_its_own_item() {
+        let src = "fn outer() {\n    fn inner(x: Option<u8>) -> u8 { x.unwrap() }\n    inner(None);\n}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "outer");
+        assert_eq!(items[1].name, "inner");
+        assert!(items[0].seeds.is_empty());
+        assert_eq!(items[1].seeds.len(), 1);
+        assert!(items[0].calls.iter().any(|c| c.name == "inner"));
+    }
+}

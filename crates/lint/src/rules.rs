@@ -108,7 +108,8 @@ impl ScopedRule {
 /// The faults crate doubly so: its whole contract is that fault
 /// schedules are pure functions of the seed. The wire crate's entire
 /// purpose is canonical bytes, so it inherits every determinism rule.
-const DETERMINISTIC_CRATES: [&str; 8] = [
+/// The call graph in [`crate::graph`] draws its nodes from the same set.
+pub const DETERMINISTIC_CRATES: [&str; 8] = [
     "crates/core/src/",
     "crates/cote/src/",
     "crates/geodata/src/",
@@ -334,6 +335,17 @@ pub fn default_rules() -> Vec<ScopedRule> {
     ]
 }
 
+/// Every rule id the analyzer understands: the line rules plus the
+/// graph-backed passes. The suppression audit treats an allow naming any
+/// other id as a finding.
+pub fn known_rule_ids() -> Vec<&'static str> {
+    default_rules()
+        .iter()
+        .map(|r| r.rule.id)
+        .chain(crate::passes::GRAPH_RULES.iter().map(|g| g.id))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +433,19 @@ mod tests {
         assert!(!io.applies_to("crates/wire/src/store.rs"));
         // The CLI is allowed to touch user-named paths directly.
         assert!(!io.applies_to("crates/cli/src/commands.rs"));
+    }
+
+    #[test]
+    fn known_ids_cover_line_and_graph_rules() {
+        let mut ids = known_rule_ids();
+        assert!(ids.contains(&"unwrap"));
+        assert!(ids.contains(&"panic-reachable"));
+        assert!(ids.contains(&"float-reduction"));
+        assert!(ids.contains(&"stale-allow"));
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(before, ids.len(), "line and graph rule ids collide");
     }
 
     #[test]

@@ -1,9 +1,15 @@
-//! The scanner: walks the workspace, applies every in-scope rule to the
-//! masked view of each file, honours `lint:allow` suppressions and the
-//! `#[cfg(test)]` exemption, and aggregates diagnostics into a report.
+//! The scanner: walks the workspace, applies every in-scope line rule to
+//! the masked view of each file, builds the call graph, runs the
+//! graph-backed passes, honours `lint:allow` suppressions and the
+//! `#[cfg(test)]` exemption, audits the suppressions themselves, and
+//! aggregates everything into one report.
 
+use crate::graph::CallGraph;
 use crate::lexer::{classify, masked_lines, MaskedLine};
-use crate::rules::{Category, RuleKind, ScopedRule};
+use crate::parse::{parse_items, FnItem};
+use crate::passes;
+use crate::rules::{Category, RuleKind, ScopedRule, DETERMINISTIC_CRATES};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -19,16 +25,20 @@ pub struct Diagnostic {
     pub rule_id: &'static str,
     /// The violated rule's category.
     pub category: Category,
-    /// Human-readable explanation (the rule description).
-    pub message: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For graph-backed rules, the witness call chain from the protected
+    /// entry point to the function containing the violation, each step
+    /// rendered as `Display (path:line)`. Empty for line rules.
+    pub chain: Vec<String>,
 }
 
 /// The outcome of scanning a tree or a set of sources.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// All violations found, ordered by path then line.
+    /// All violations found, ordered by (path, line, rule id).
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
@@ -49,91 +59,261 @@ impl Report {
     }
 }
 
+/// The full result of one analyzer run: the report plus the call graph
+/// it was derived from (for `--call-graph` and the determinism tests).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// The diagnostics report.
+    pub report: Report,
+    /// The workspace call graph over the deterministic crates.
+    pub graph: CallGraph,
+}
+
+/// One classified, parsed source file — the shared input to the line
+/// rules, the call graph and the graph-backed passes.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// The lexer's per-line masked view.
+    pub lines: Vec<MaskedLine>,
+    /// `test_lines[i]`: line `i` (0-based) is inside `#[cfg(test)]`.
+    pub test_lines: Vec<bool>,
+    /// `allows[i]`: rule ids named by `lint:allow(..)` on line `i`.
+    pub allows: Vec<Vec<String>>,
+    /// Parsed `fn` items (only populated for in-graph files).
+    pub items: Vec<FnItem>,
+    /// True when the file belongs to the eight deterministic crates and
+    /// therefore contributes nodes to the call graph.
+    pub in_graph: bool,
+}
+
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 3] = ["target", ".git", "shims"];
 
-/// Scans every `.rs` file under `root` with the given rules.
+/// Builds the shared per-file analysis input.
+fn build_file_analysis(path: &str, src: &str) -> FileAnalysis {
+    let classes = classify(src);
+    let lines = masked_lines(src, &classes);
+    let test_lines = test_code_lines(&lines);
+    let allows: Vec<Vec<String>> = lines.iter().map(|l| allowed_rules(&l.comment)).collect();
+    let in_graph = DETERMINISTIC_CRATES.iter().any(|p| path.starts_with(p));
+    let items = if in_graph {
+        parse_items(&lines, &test_lines)
+    } else {
+        Vec::new()
+    };
+    FileAnalysis {
+        path: path.to_string(),
+        lines,
+        test_lines,
+        allows,
+        items,
+        in_graph,
+    }
+}
+
+/// Test-only constructor used by the graph unit tests.
+#[cfg(test)]
+pub(crate) fn file_analysis_for_test(path: &str, src: &str) -> FileAnalysis {
+    build_file_analysis(path, src)
+}
+
+/// Scans every `.rs` file under `root` with the given rules and runs the
+/// full pipeline (line rules, call graph, graph passes, suppression
+/// audit). Equivalent to [`analyze`] but returning only the report; this
+/// is the entry point the lint gate uses.
+pub fn check(root: &Path, rules: &[ScopedRule]) -> io::Result<Report> {
+    analyze(root, rules).map(|a| a.report)
+}
+
+/// Scans every `.rs` file under `root` and returns the report together
+/// with the call graph.
 ///
 /// Paths in the report are relative to `root` and use forward slashes,
 /// so rule scopes match regardless of platform. `target/`, `.git/` and
 /// `shims/` (vendored stand-ins for external crates, not Kodan code)
 /// are skipped.
-pub fn check(root: &Path, rules: &[ScopedRule]) -> io::Result<Report> {
-    let mut files = Vec::new();
-    collect_rust_files(root, &mut files)?;
-    files.sort();
-
-    let mut report = Report::default();
-    for file in &files {
-        let src = fs::read_to_string(file)?;
-        let relative = relative_path(root, file);
-        report.files_scanned += 1;
-        report
-            .diagnostics
-            .extend(scan_source(&relative, &src, rules));
+pub fn analyze(root: &Path, rules: &[ScopedRule]) -> io::Result<Analysis> {
+    let mut paths = Vec::new();
+    collect_rust_files(root, &mut paths)?;
+    paths.sort();
+    let mut sources = Vec::with_capacity(paths.len());
+    for file in &paths {
+        sources.push((relative_path(root, file), fs::read_to_string(file)?));
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    Ok(report)
+    Ok(analyze_sources(&sources, rules))
 }
 
-/// Scans one in-memory source file; the entry point fixture tests use.
+/// Runs the full pipeline over in-memory sources — the entry point the
+/// gate fixtures use. `sources` holds `(workspace-relative path, text)`
+/// pairs; they are sorted by path internally.
+pub fn analyze_sources(sources: &[(String, String)], rules: &[ScopedRule]) -> Analysis {
+    let mut files: Vec<FileAnalysis> = sources
+        .iter()
+        .map(|(path, src)| build_file_analysis(path, src))
+        .collect();
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+
+    // 1. Candidate diagnostics from the line rules, pre-suppression.
+    let mut candidates: Vec<(usize, Diagnostic)> = Vec::new();
+    let mut used: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+    for (file_idx, file) in files.iter().enumerate() {
+        line_rule_candidates(file_idx, file, rules, &mut candidates, &mut used);
+    }
+
+    // 2. Graph passes produce more candidates.
+    let graph = CallGraph::build(&files);
+    let pred = graph.reachability();
+    let by_path: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    for diag in passes::panic_reachability(&files, &graph, &pred)
+        .into_iter()
+        .chain(passes::float_reduction(&files, &graph, &pred))
+    {
+        let file_idx = by_path[diag.path.as_str()];
+        candidates.push((file_idx, diag));
+    }
+
+    // 3. Apply suppressions uniformly, recording which allows earned
+    //    their keep.
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for (file_idx, diag) in candidates {
+        let file = &files[file_idx];
+        let line_idx = diag.line.saturating_sub(1);
+        let mut suppressed = false;
+        for idx in [Some(line_idx), line_idx.checked_sub(1)].into_iter().flatten() {
+            if file
+                .allows
+                .get(idx)
+                .is_some_and(|ids| ids.iter().any(|id| id == diag.rule_id))
+            {
+                used.insert((file_idx, idx, diag.rule_id.to_string()));
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            diagnostics.push(diag);
+        }
+    }
+
+    // 4. The suppression audit sees the final usage map. Its findings
+    //    are not themselves suppressible — an allow for the audit rule
+    //    would be self-justifying.
+    let known: BTreeSet<&'static str> = crate::rules::known_rule_ids().into_iter().collect();
+    diagnostics.extend(passes::stale_allow(&files, &used, &known));
+
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule_id).cmp(&(&b.path, b.line, b.rule_id)));
+    diagnostics.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.rule_id == b.rule_id);
+
+    Analysis {
+        report: Report {
+            diagnostics,
+            files_scanned: files.len(),
+        },
+        graph,
+    }
+}
+
+/// Scans one in-memory source file with the *line rules only* — no call
+/// graph, no suppression audit. This narrower entry point serves the
+/// scope/suppression fixtures; full-pipeline fixtures use
+/// [`analyze_sources`].
 ///
 /// `relative_path` is matched against rule scopes exactly as an on-disk
 /// path would be.
 pub fn scan_source(relative_path: &str, src: &str, rules: &[ScopedRule]) -> Vec<Diagnostic> {
-    let classes = classify(src);
-    let lines = masked_lines(src, &classes);
-    let test_lines = test_code_lines(&lines);
-    let allows: Vec<Vec<String>> = lines.iter().map(|l| allowed_rules(&l.comment)).collect();
+    let file = build_file_analysis(relative_path, src);
+    let mut candidates: Vec<(usize, Diagnostic)> = Vec::new();
+    let mut used: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+    line_rule_candidates(0, &file, rules, &mut candidates, &mut used);
+    candidates
+        .into_iter()
+        .filter(|(_, d)| {
+            let line_idx = d.line.saturating_sub(1);
+            !suppressed(&file.allows, line_idx, d.rule_id)
+        })
+        .map(|(_, d)| d)
+        .collect()
+}
 
-    let mut diagnostics = Vec::new();
+/// Applies every in-scope line rule to one file, pushing pre-suppression
+/// candidates. `RequiredAttr` rules are resolved here directly (their
+/// allow is file-scoped, not line-scoped) and mark allow usage in `used`.
+fn line_rule_candidates(
+    file_idx: usize,
+    file: &FileAnalysis,
+    rules: &[ScopedRule],
+    candidates: &mut Vec<(usize, Diagnostic)>,
+    used: &mut BTreeSet<(usize, usize, String)>,
+) {
     for scoped in rules {
-        if !scoped.applies_to(relative_path) {
+        if !scoped.applies_to(&file.path) {
             continue;
         }
         let rule = &scoped.rule;
         match rule.kind {
             RuleKind::Pattern { needles } => {
-                for (idx, line) in lines.iter().enumerate() {
-                    if rule.exempt_test_code && test_lines[idx] {
+                for (idx, line) in file.lines.iter().enumerate() {
+                    if rule.exempt_test_code && file.test_lines[idx] {
                         continue;
                     }
                     if !needles.iter().any(|n| matches_word(&line.code, n)) {
                         continue;
                     }
-                    if suppressed(&allows, idx, rule.id) {
-                        continue;
-                    }
-                    diagnostics.push(Diagnostic {
-                        path: relative_path.to_string(),
-                        line: line.number,
-                        rule_id: rule.id,
-                        category: rule.category,
-                        message: rule.description,
-                        snippet: line.raw.trim().to_string(),
-                    });
+                    candidates.push((
+                        file_idx,
+                        Diagnostic {
+                            path: file.path.clone(),
+                            line: line.number,
+                            rule_id: rule.id,
+                            category: rule.category,
+                            message: rule.description.to_string(),
+                            snippet: line.raw.trim().to_string(),
+                            chain: Vec::new(),
+                        },
+                    ));
                 }
             }
             RuleKind::RequiredAttr { attr } => {
                 let want = strip_spaces(attr);
-                let present = lines.iter().any(|l| strip_spaces(&l.code).contains(&want));
-                let allowed = allows.iter().any(|a| a.iter().any(|id| id == rule.id));
-                if !present && !allowed {
-                    diagnostics.push(Diagnostic {
-                        path: relative_path.to_string(),
-                        line: 1,
-                        rule_id: rule.id,
-                        category: rule.category,
-                        message: rule.description,
-                        snippet: format!("missing {attr}"),
-                    });
+                let present = file
+                    .lines
+                    .iter()
+                    .any(|l| strip_spaces(&l.code).contains(&want));
+                let allow_sites: Vec<usize> = file
+                    .allows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ids)| ids.iter().any(|id| id == rule.id))
+                    .map(|(i, _)| i)
+                    .collect();
+                if !present {
+                    if allow_sites.is_empty() {
+                        candidates.push((
+                            file_idx,
+                            Diagnostic {
+                                path: file.path.clone(),
+                                line: 1,
+                                rule_id: rule.id,
+                                category: rule.category,
+                                message: rule.description.to_string(),
+                                snippet: format!("missing {attr}"),
+                                chain: Vec::new(),
+                            },
+                        ));
+                    } else {
+                        for idx in allow_sites {
+                            used.insert((file_idx, idx, rule.id.to_string()));
+                        }
+                    }
                 }
             }
         }
     }
-    diagnostics
 }
 
 fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -164,7 +344,7 @@ fn relative_path(root: &Path, file: &Path) -> String {
 
 /// Marks every line that is inside a `#[cfg(test)]`-gated block (or is
 /// the attribute line itself), by tracking brace depth in the code mask.
-fn test_code_lines(lines: &[MaskedLine]) -> Vec<bool> {
+pub(crate) fn test_code_lines(lines: &[MaskedLine]) -> Vec<bool> {
     let mut flags = vec![false; lines.len()];
     let mut depth: u32 = 0;
     // Depth at which each active #[cfg(test)] block was opened.
@@ -271,6 +451,14 @@ mod tests {
         scan_source(path, src, &default_rules())
     }
 
+    fn analyze_pair(sources: &[(&str, &str)]) -> Analysis {
+        let owned: Vec<(String, String)> = sources
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        analyze_sources(&owned, &default_rules())
+    }
+
     #[test]
     fn flags_unwrap_in_runtime_path_only() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
@@ -365,5 +553,103 @@ mod tests {
         assert_eq!(report.exit_code(), 1 | 2);
         assert!(!report.is_clean());
         assert!(Report::default().is_clean());
+    }
+
+    #[test]
+    fn full_pipeline_reports_reachable_panics_with_chains() {
+        let analysis = analyze_pair(&[
+            (
+                "crates/core/src/runtime.rs",
+                "impl Runtime {\n    pub fn process_frame(&self) { helper(); }\n}\n",
+            ),
+            (
+                "crates/ml/src/zoo.rs",
+                "pub fn helper() -> u8 { None::<u8>.unwrap() }\n",
+            ),
+        ]);
+        let hit = analysis
+            .report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule_id == "panic-reachable")
+            .expect("panic-reachable fires");
+        assert_eq!(hit.path, "crates/ml/src/zoo.rs");
+        assert_eq!(hit.chain.len(), 2);
+        assert!(hit.chain[0].starts_with("Runtime::process_frame "));
+        assert!(hit.chain[1].starts_with("helper "));
+    }
+
+    #[test]
+    fn unreachable_seeds_stay_silent() {
+        let analysis = analyze_pair(&[(
+            "crates/ml/src/zoo.rs",
+            "pub fn orphan() -> u8 { None::<u8>.unwrap() }\n",
+        )]);
+        assert!(analysis
+            .report
+            .diagnostics
+            .iter()
+            .all(|d| d.rule_id != "panic-reachable"));
+    }
+
+    #[test]
+    fn stale_allow_is_reported_and_live_allow_is_not() {
+        let analysis = analyze_pair(&[(
+            "crates/core/src/queue.rs",
+            "pub fn f(x: Option<u8>) -> u8 {\n    \
+             x.unwrap() // lint:allow(unwrap): caller guarantees Some\n}\n\
+             // lint:allow(expect): nothing here expects\n\
+             pub fn g() {}\n",
+        )]);
+        let stale: Vec<_> = analysis
+            .report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule_id == "stale-allow")
+            .collect();
+        assert_eq!(stale.len(), 1, "got: {:?}", analysis.report.diagnostics);
+        assert_eq!(stale[0].line, 4);
+        assert!(stale[0].message.contains("expect"));
+    }
+
+    #[test]
+    fn unknown_allow_id_is_flagged() {
+        let analysis = analyze_pair(&[(
+            "crates/core/src/queue.rs",
+            "// lint:allow(no-such-rule): typo\npub fn f() {}\n",
+        )]);
+        let stale: Vec<_> = analysis
+            .report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule_id == "stale-allow")
+            .collect();
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("does not know"));
+    }
+
+    #[test]
+    fn diagnostic_ordering_is_byte_stable() {
+        let sources = &[
+            (
+                "crates/core/src/runtime.rs",
+                "impl Runtime {\n    pub fn process_frame(&self) { helper(); }\n}\n",
+            ),
+            (
+                "crates/ml/src/zoo.rs",
+                "pub fn helper() -> u8 { None::<u8>.unwrap() }\n",
+            ),
+        ];
+        let a = analyze_pair(sources);
+        let b = analyze_pair(sources);
+        let render = |an: &Analysis| {
+            an.report
+                .diagnostics
+                .iter()
+                .map(|d| format!("{}:{}:{}:{}", d.path, d.line, d.rule_id, d.chain.join(">")))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&a), render(&b));
     }
 }

@@ -195,13 +195,14 @@ fn plus_plus_init(
             }
             chosen
         };
-        centroids.push(points[next].clone());
+        let chosen_point = &points[next];
         for (d, p) in dist_sq.iter_mut().zip(points) {
-            let nd = metric.distance(p, centroids.last().expect("just pushed")).powi(2);
+            let nd = metric.distance(p, chosen_point).powi(2);
             if nd < *d {
                 *d = nd;
             }
         }
+        centroids.push(chosen_point.clone());
     }
     centroids
 }

@@ -64,7 +64,7 @@ impl TransformKind {
     /// or exceeds the dimension.
     pub fn fit(&self, data: &[Vec<f64>]) -> FittedTransform {
         assert!(!data.is_empty(), "transform needs data");
-        let dim = data[0].len();
+        let dim = data.first().map(Vec::len).unwrap_or(0);
         match self {
             TransformKind::Identity => FittedTransform::Identity,
             TransformKind::Standardize => {
@@ -176,11 +176,13 @@ fn top_components(cov: &Matrix, n: usize) -> Vec<Vec<f64>> {
         for _ in 0..200 {
             let mut next = work.matvec(&v);
             let norm = normalize(&mut next);
-            let delta: f64 = next
-                .iter()
-                .zip(&v)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            // Element-order loop: max is order-insensitive for finite
+            // values, but the explicit serial form keeps the reduction
+            // order textually pinned (and NaN-propagation obvious).
+            let mut delta = 0.0f64;
+            for (a, b) in next.iter().zip(&v) {
+                delta = delta.max((a - b).abs());
+            }
             v = next;
             eigenvalue = norm;
             if delta < 1e-12 {
@@ -199,7 +201,13 @@ fn top_components(cov: &Matrix, n: usize) -> Vec<Vec<f64>> {
 }
 
 fn normalize(v: &mut [f64]) -> f64 {
-    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    // Serial left-to-right accumulation in element order pins the
+    // (non-associative) f64 reduction order.
+    let mut sq_sum = 0.0;
+    for x in v.iter() {
+        sq_sum += x * x;
+    }
+    let norm = sq_sum.sqrt();
     if norm > 1e-18 {
         for x in v.iter_mut() {
             *x /= norm;

@@ -55,10 +55,17 @@ impl ModelArch {
 
     /// 0-based index within [`ModelArch::ALL`].
     pub fn index(self) -> usize {
-        ModelArch::ALL
-            .iter()
-            .position(|&a| a == self)
-            .expect("ALL contains every variant")
+        // Exhaustive match keeps this total: adding a variant without
+        // updating ALL is a compile error here, not a runtime panic.
+        match self {
+            ModelArch::MobileNetV2DilatedC1 => 0,
+            ModelArch::ResNet18DilatedPpm => 1,
+            ModelArch::HrNetV2C1 => 2,
+            ModelArch::ResNet50DilatedPpm => 3,
+            ModelArch::ResNet50UperNet => 4,
+            ModelArch::ResNet101UperNet => 5,
+            ModelArch::ResNet101DilatedPpm => 6,
+        }
     }
 
     /// The architecture string as printed in Table 1.

@@ -178,37 +178,33 @@ impl<'a> Dec<'a> {
 
     /// Takes the next `n` bytes, or [`WireError::Truncated`].
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if n > self.remaining() {
-            return Err(WireError::Truncated);
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let out = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(out)
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, WireError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        let b: [u8; 2] = self.take(2)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u16::from_le_bytes(b))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Reads a `usize` stored as a `u64`.

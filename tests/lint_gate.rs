@@ -7,7 +7,8 @@
 //! gate would actually catch a regression, guarding against the scanner
 //! silently going blind (e.g. a bad walker skip list).
 
-use kodan_lint::{check, default_rules, scan_source};
+use kodan_lint::json::{render_call_graph, render_report};
+use kodan_lint::{analyze, analyze_sources, check, default_rules, scan_source};
 use std::path::Path;
 
 /// The workspace root: this integration test lives in `<root>/tests/`.
@@ -240,6 +241,166 @@ fn gate_covers_the_wire_crate() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_catches_reachable_panics_with_a_witness_chain() {
+    // The interprocedural pass must walk from a protected entry point
+    // through helpers to the panic seed and report the full path, so a
+    // failing gate tells the reader *why* the seed is mission-critical.
+    let rules = default_rules();
+    let sources = vec![(
+        "crates/core/src/runtime.rs".to_string(),
+        "impl Runtime {\n    \
+             pub fn process_frame(&self) -> u8 { helper(1) }\n\
+         }\n\
+         fn helper(i: usize) -> u8 { deep(i) }\n\
+         fn deep(i: usize) -> u8 {\n    \
+             let xs = [1u8, 2];\n    \
+             xs[i]\n\
+         }\n"
+            .to_string(),
+    )];
+    let analysis = analyze_sources(&sources, &rules);
+    let d = analysis
+        .report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule_id == "panic-reachable")
+        .expect("panic-reachable fires on the seeded fixture");
+    assert_eq!(d.line, 7, "seed is the indexing expression: {:?}", d);
+    assert_eq!(
+        d.chain.len(),
+        3,
+        "witness chain walks entry -> helper -> deep, got {:?}",
+        d.chain
+    );
+    assert!(d.chain[0].contains("Runtime::process_frame"));
+    assert!(d.chain[1].contains("helper"));
+    assert!(d.chain[2].contains("deep"));
+    assert!(d.message.contains("protected entry point"));
+    assert_ne!(
+        analysis.report.exit_code() & 2,
+        0,
+        "panic-safety bit must fire"
+    );
+}
+
+#[test]
+fn gate_catches_reachable_float_reductions() {
+    // An order-sensitive f64 reduction below Mission::run is a
+    // determinism hazard: a refactor that reorders the iterator (or
+    // hands it to a parallel map) changes mission outputs.
+    let rules = default_rules();
+    let sources = vec![(
+        "crates/core/src/mission.rs".to_string(),
+        "impl Mission {\n    \
+             pub fn run(&self) -> f64 { tally(&[1.0, 2.0]) }\n\
+         }\n\
+         fn tally(xs: &[f64]) -> f64 {\n    \
+             xs.iter().sum::<f64>()\n\
+         }\n"
+            .to_string(),
+    )];
+    let analysis = analyze_sources(&sources, &rules);
+    let d = analysis
+        .report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule_id == "float-reduction")
+        .expect("float-reduction fires on the seeded fixture");
+    assert_eq!(d.line, 5);
+    assert!(d.chain[0].contains("Mission::run"), "chain: {:?}", d.chain);
+    assert!(d.chain.last().expect("non-empty chain").contains("tally"));
+    assert_ne!(
+        analysis.report.exit_code() & 1,
+        0,
+        "determinism bit must fire"
+    );
+}
+
+#[test]
+fn gate_flags_stale_and_unknown_allows() {
+    // A lint:allow that no longer suppresses anything is a dormant hole
+    // in the gate; one naming an unknown rule never worked at all.
+    let rules = default_rules();
+    let sources = vec![(
+        "crates/core/src/queue.rs".to_string(),
+        "// lint:allow(unwrap): nothing here unwraps\n\
+         pub fn calm() {}\n\
+         // lint:allow(made-up-rule): never a real rule\n\
+         pub fn calm2() {}\n"
+            .to_string(),
+    )];
+    let analysis = analyze_sources(&sources, &rules);
+    let stale: Vec<_> = analysis
+        .report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule_id == "stale-allow")
+        .collect();
+    assert_eq!(stale.len(), 2, "got: {:?}", analysis.report.diagnostics);
+    assert!(stale[0].message.contains("suppresses nothing"));
+    assert!(stale[1].message.contains("does not know"));
+    assert_ne!(analysis.report.exit_code() & 4, 0, "hygiene bit must fire");
+
+    // A *live* allow is not stale: the same directive above a real
+    // unwrap suppresses the violation and produces no finding at all.
+    let live = vec![(
+        "crates/core/src/queue.rs".to_string(),
+        "pub fn f(x: Option<u8>) -> u8 {\n    \
+             // lint:allow(unwrap): caller guarantees Some\n    \
+             x.unwrap()\n\
+         }\n"
+            .to_string(),
+    )];
+    let analysis = analyze_sources(&live, &rules);
+    assert!(
+        analysis.report.is_clean(),
+        "live allow misread as stale: {:?}",
+        analysis.report.diagnostics
+    );
+}
+
+#[test]
+fn json_report_schema_is_stable() {
+    // The gate (and any tooling downstream of `--format json`) parses
+    // this document; the exact byte layout is part of the contract.
+    let rules = default_rules();
+    let sources = vec![(
+        "crates/core/src/queue.rs".to_string(),
+        "// lint:allow(unwrap): nothing here unwraps\npub fn calm() {}\n".to_string(),
+    )];
+    let analysis = analyze_sources(&sources, &rules);
+    let expected = "{\n  \"files_scanned\": 1,\n  \"exit_code\": 4,\n  \"diagnostics\": [\n    \
+        {\"path\": \"crates/core/src/queue.rs\", \"line\": 1, \"rule\": \"stale-allow\", \
+        \"category\": \"hygiene\", \
+        \"message\": \"lint:allow(unwrap) suppresses nothing here; the rule no longer fires\", \
+        \"snippet\": \"// lint:allow(unwrap): nothing here unwraps\", \"chain\": []}\n  ]\n}";
+    assert_eq!(render_report(&analysis.report), expected);
+}
+
+#[test]
+fn workspace_analysis_is_byte_stable() {
+    // Two scans of the same tree must render identical bytes, both for
+    // the report and for the call-graph dump: the analyzer itself obeys
+    // the determinism discipline it enforces.
+    let rules = default_rules();
+    let first = analyze(workspace_root(), &rules).expect("first scan succeeds");
+    let second = analyze(workspace_root(), &rules).expect("second scan succeeds");
+    assert_eq!(render_report(&first.report), render_report(&second.report));
+    assert_eq!(
+        render_call_graph(&first.graph),
+        render_call_graph(&second.graph)
+    );
+    assert!(
+        !first.graph.nodes.is_empty(),
+        "workspace call graph must not be empty"
+    );
+    assert!(
+        first.graph.nodes.iter().any(|n| n.entry),
+        "workspace must expose protected entry points"
+    );
 }
 
 #[test]
