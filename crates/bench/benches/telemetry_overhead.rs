@@ -1,5 +1,6 @@
 //! Telemetry overhead baseline: `Runtime::process_frames` with the
-//! no-op `NullRecorder` vs the accumulating `SummaryRecorder`.
+//! no-op `NullRecorder` vs the accumulating `SummaryRecorder` vs the
+//! black-box `FlightRecorder` armed on top of it.
 //!
 //! The recorder contract promises that instrumentation is effectively
 //! free when disabled and cheap when enabled (the runtime's cost is
@@ -15,7 +16,7 @@ use kodan_bench::{banner, bench_artifacts, bench_world};
 use kodan_geodata::frame::FrameImage;
 use kodan_hw::targets::HwTarget;
 use kodan_ml::zoo::ModelArch;
-use kodan_telemetry::{NullRecorder, SummaryRecorder};
+use kodan_telemetry::{FlightRecorder, NullRecorder, SummaryRecorder};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -67,6 +68,12 @@ fn main() {
             runtime.process_frames_recorded(black_box(frames.iter()), &mut recorder)
         })
     });
+    criterion.bench_function("process_frames_flight_recorder", |b| {
+        b.iter(|| {
+            let mut recorder = FlightRecorder::new(SummaryRecorder::new());
+            runtime.process_frames_recorded(black_box(frames.iter()), &mut recorder)
+        })
+    });
 
     // An independent fixed-rep measurement for the committed baseline
     // (the criterion shim prints but does not expose its timings).
@@ -77,7 +84,15 @@ fn main() {
         let mut recorder = SummaryRecorder::new();
         runtime.process_frames_recorded(frames.iter(), &mut recorder)
     });
+    // The flight recorder keeps the summary underneath and adds the
+    // per-frame ring-buffer maintenance on top — the worst-case armed
+    // configuration (`kodan mission` flies with exactly this stack).
+    let flight_s = time_batch(REPS, || {
+        let mut recorder = FlightRecorder::new(SummaryRecorder::new());
+        runtime.process_frames_recorded(frames.iter(), &mut recorder)
+    });
     let ratio = if null_s > 0.0 { summary_s / null_s } else { 0.0 };
+    let flight_ratio = if null_s > 0.0 { flight_s / null_s } else { 0.0 };
 
     // One recorded batch, so the baseline pins the event volume the
     // overhead pays for.
@@ -86,17 +101,19 @@ fn main() {
     let snapshot = recorder.snapshot();
 
     let json = format!(
-        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"unit\": \"seconds_per_{BATCH_FRAMES}_frame_batch\",\n  \"reps\": {REPS},\n  \"null_recorder_s\": {null_s:.6},\n  \"summary_recorder_s\": {summary_s:.6},\n  \"overhead_ratio\": {ratio:.4},\n  \"events_per_batch\": {},\n  \"frames_per_batch\": {},\n  \"budget_note\": \"future PRs should keep overhead_ratio under 1.10\"\n}}\n",
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"unit\": \"seconds_per_{BATCH_FRAMES}_frame_batch\",\n  \"reps\": {REPS},\n  \"null_recorder_s\": {null_s:.6},\n  \"summary_recorder_s\": {summary_s:.6},\n  \"flight_recorder_s\": {flight_s:.6},\n  \"overhead_ratio\": {ratio:.4},\n  \"flight_overhead_ratio\": {flight_ratio:.4},\n  \"events_per_batch\": {},\n  \"frames_per_batch\": {},\n  \"budget_note\": \"future PRs should keep overhead_ratio and flight_overhead_ratio under 1.10\"\n}}\n",
         snapshot.events, snapshot.frames
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry_overhead.json");
     std::fs::write(out, &json).expect("write BENCH_telemetry_overhead.json");
     println!();
     println!(
-        "null {:.3} ms  summary {:.3} ms  ratio {:.3}  ({} events/batch)",
+        "null {:.3} ms  summary {:.3} ms  flight {:.3} ms  ratios {:.3}/{:.3}  ({} events/batch)",
         null_s * 1e3,
         summary_s * 1e3,
+        flight_s * 1e3,
         ratio,
+        flight_ratio,
         snapshot.events
     );
     println!("baseline written to BENCH_telemetry_overhead.json");

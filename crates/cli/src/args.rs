@@ -37,6 +37,19 @@ pub struct Options {
     /// Load the deployable artifact set from this directory for
     /// `mission`, skipping the ground-side transformation entirely.
     pub load_artifacts: Option<String>,
+    /// Output path for `trace` (Chrome trace-event JSON) and for the
+    /// `health` JSON report. Defaults to stdout / text-only.
+    pub out: Option<String>,
+    /// Path to a health-rule file for `health` (one
+    /// `metric <= threshold` / `metric >= threshold` rule per line);
+    /// defaults to the built-in rule set.
+    pub rules: Option<String>,
+    /// Evaluate `health` against a previously written telemetry
+    /// snapshot instead of flying a mission.
+    pub snapshot: Option<String>,
+    /// Write the flight recorder's black-box log (JSON) to this path
+    /// after `mission` or `health`.
+    pub blackbox: Option<String>,
 }
 
 impl Default for Options {
@@ -55,6 +68,10 @@ impl Default for Options {
             fault_seed: None,
             save_artifacts: None,
             load_artifacts: None,
+            out: None,
+            rules: None,
+            snapshot: None,
+            blackbox: None,
         }
     }
 }
@@ -96,6 +113,10 @@ impl Options {
                 "--load-artifacts" => {
                     options.load_artifacts = Some(next_value(&mut iter, flag)?);
                 }
+                "--out" => options.out = Some(next_value(&mut iter, flag)?),
+                "--rules" => options.rules = Some(next_value(&mut iter, flag)?),
+                "--snapshot" => options.snapshot = Some(next_value(&mut iter, flag)?),
+                "--blackbox" => options.blackbox = Some(next_value(&mut iter, flag)?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -145,6 +166,8 @@ mod tests {
             "--contexts", "4", "--expert", "--sats", "8", "--telemetry", "out.json",
             "--workers", "4", "--faults", "plan.txt", "--fault-seed", "13",
             "--save-artifacts", "art/", "--load-artifacts", "art2/",
+            "--out", "trace.json", "--rules", "rules.txt",
+            "--snapshot", "snap.json", "--blackbox", "bb.json",
         ])
         .unwrap();
         assert_eq!(o.app, ModelArch::ResNet101DilatedPpm);
@@ -160,6 +183,23 @@ mod tests {
         assert_eq!(o.fault_seed, Some(13));
         assert_eq!(o.save_artifacts.as_deref(), Some("art/"));
         assert_eq!(o.load_artifacts.as_deref(), Some("art2/"));
+        assert_eq!(o.out.as_deref(), Some("trace.json"));
+        assert_eq!(o.rules.as_deref(), Some("rules.txt"));
+        assert_eq!(o.snapshot.as_deref(), Some("snap.json"));
+        assert_eq!(o.blackbox.as_deref(), Some("bb.json"));
+    }
+
+    #[test]
+    fn observability_flags_default_off_and_require_paths() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.out, None);
+        assert_eq!(o.rules, None);
+        assert_eq!(o.snapshot, None);
+        assert_eq!(o.blackbox, None);
+        assert!(parse(&["--out"]).is_err());
+        assert!(parse(&["--rules"]).is_err());
+        assert!(parse(&["--snapshot"]).is_err());
+        assert!(parse(&["--blackbox"]).is_err());
     }
 
     #[test]

@@ -11,8 +11,11 @@ use kodan::KodanConfig;
 use kodan_faults::{FaultConfig, FaultPlan};
 use kodan_geodata::{Dataset, DatasetConfig, World};
 use kodan_telemetry::{
-    CounterId, NullRecorder, Recorder, StageId, SummaryRecorder, TelemetrySnapshot,
+    default_health_rules, diff_snapshots, evaluate_health, parse_health_rules, CounterId,
+    FlightRecorder, NullRecorder, Recorder, StageId, SummaryRecorder, TelemetrySnapshot,
+    TraceBuilder,
 };
+use std::process::ExitCode;
 
 /// Usage text shown by `kodan help` and on argument errors.
 pub const USAGE: &str = "\
@@ -28,7 +31,15 @@ COMMANDS:
   select      derive the selection logic for a hardware target
   mission     fly a simulated day: bent pipe vs direct deploy vs kodan
   coverage    constellation sizing for full ground-track coverage
-  artifacts   inspect PATH — verify a saved artifact directory
+  artifacts   inspect PATH [--telemetry OUT] — verify a saved
+              artifact directory (optionally writing the inspection
+              counters as a telemetry snapshot)
+  trace       fly the kodan mission and export the modeled-time span
+              forest as Chrome trace-event JSON (open in Perfetto)
+  health      evaluate declarative threshold rules over the mission
+              telemetry; exits 2 when any rule fails
+  diff        BEFORE.json AFTER.json — compare two telemetry
+              snapshots field by field; exits 3 when they differ
   help        show this text
 
 FLAGS:
@@ -51,7 +62,16 @@ FLAGS:
                  into directory D for the modeled uplink
   --load-artifacts D  fly the mission from the artifact set in
                  directory D instead of retraining; corrupted
-                 models degrade to the global-model fallback";
+                 models degrade to the global-model fallback
+  --out P        trace: write the Chrome trace JSON to P instead
+                 of stdout; health: also write the JSON report to P
+  --rules P      health: read threshold rules from P (one
+                 `metric >= t` / `metric <= t` line each) instead
+                 of the built-in rule set
+  --snapshot P   health: evaluate the snapshot file P instead of
+                 flying a mission
+  --blackbox P   mission/health: write the flight recorder's
+                 black-box log (JSON) to P";
 
 fn build_dataset(options: &Options) -> (World, Dataset) {
     let world = World::new(options.seed);
@@ -129,6 +149,62 @@ fn build_fault_plan(options: &Options) -> Result<Option<FaultPlan>, String> {
         .map(FaultPlan::new)
         .transpose()
         .map_err(|e| format!("invalid fault config: {e}"))
+}
+
+/// Arms `runtime` with `plan`, using the selected grid's global model —
+/// the one model guaranteed to cover every context — as the
+/// degradation fallback.
+fn arm_fault_plan(
+    runtime: Runtime,
+    artifacts: &TransformationArtifacts,
+    plan: &FaultPlan,
+) -> Result<Runtime, String> {
+    let grid = runtime.logic().grid();
+    let fallback = artifacts
+        .grid_artifacts(grid)
+        .map_err(|e| e.to_string())?
+        .global_model
+        .clone();
+    Ok(runtime.with_fault_plan(plan.clone(), fallback))
+}
+
+/// Runs the full kodan path — ground transformation, selection, and the
+/// on-orbit mission (with `--faults` / `--fault-seed` honored) — feeding
+/// every stage through `recorder`. Shared by `trace` and `health`,
+/// which differ only in the recorder they attach.
+fn fly_kodan_recorded(options: &Options, recorder: &mut dyn Recorder) -> Result<(), String> {
+    let (world, artifacts) = build_artifacts_recorded(options, recorder)?;
+    let env = SpaceEnvironment::landsat(options.sats);
+    let logic = artifacts.select_with_capacity(
+        options.target,
+        env.frame_deadline,
+        env.capacity_fraction,
+    );
+    let mission = Mission::new(&env, &world, MissionParams::default());
+    let mut runtime =
+        Runtime::new(logic, artifacts.engine.clone()).with_workers(options.workers);
+    if let Some(plan) = build_fault_plan(options)? {
+        runtime = arm_fault_plan(runtime, &artifacts, &plan)?;
+    }
+    let _ = mission.run_with_runtime_recorded(&runtime, SystemKind::Kodan, recorder);
+    Ok(())
+}
+
+/// Writes the flight recorder's black-box log to `--blackbox PATH` when
+/// the flag was given.
+fn write_blackbox(
+    options: &Options,
+    recorder: &FlightRecorder<SummaryRecorder>,
+) -> Result<(), String> {
+    if let Some(path) = &options.blackbox {
+        std::fs::write(path, recorder.blackbox_json())
+            .map_err(|e| format!("failed to write black-box log to {path}: {e}"))?;
+        println!(
+            "  black-box log written to {path} ({} report(s))",
+            recorder.reports().len()
+        );
+    }
+    Ok(())
 }
 
 /// Writes the snapshot to `--telemetry PATH` when the flag was given.
@@ -307,8 +383,10 @@ pub fn select(options: &Options) -> Result<(), String> {
 pub fn mission(options: &Options) -> Result<(), String> {
     // One recorder spans the whole kodan path: ground-side transformation
     // (or the artifact load replacing it) plus the on-orbit mission run,
-    // so the snapshot covers both halves.
-    let mut recorder = SummaryRecorder::new();
+    // so the snapshot covers both halves. The flight recorder wraps it so
+    // every degradation freezes a black-box window of the frames leading
+    // up to it.
+    let mut recorder = FlightRecorder::new(SummaryRecorder::new());
     let (world, artifacts, kodan_logic, quarantined) =
         if let Some(dir) = &options.load_artifacts {
             let loaded =
@@ -360,15 +438,7 @@ pub fn mission(options: &Options) -> Result<(), String> {
         .with_workers(options.workers)
         .with_quarantined_models(quarantined);
     if let Some(plan) = &fault_plan {
-        // Degradation fallback: the selected grid's global model — the
-        // one model guaranteed to cover every context.
-        let grid = kodan_runtime.logic().grid();
-        let fallback = artifacts
-            .grid_artifacts(grid)
-            .map_err(|e| e.to_string())?
-            .global_model
-            .clone();
-        kodan_runtime = kodan_runtime.with_fault_plan(plan.clone(), fallback);
+        kodan_runtime = arm_fault_plan(kodan_runtime, &artifacts, plan)?;
     }
     let kodan = mission.run_with_runtime_recorded(&kodan_runtime, SystemKind::Kodan, &mut recorder);
 
@@ -391,7 +461,7 @@ pub fn mission(options: &Options) -> Result<(), String> {
         "  kodan improves DVD {:+.0}% over the bent pipe",
         (kodan.dvd / bent.dvd - 1.0) * 100.0
     );
-    let snapshot = recorder.snapshot();
+    let snapshot = recorder.inner().snapshot();
     println!(
         "kodan telemetry ({} frames, {} events):",
         snapshot.frames, snapshot.events
@@ -409,22 +479,139 @@ pub fn mission(options: &Options) -> Result<(), String> {
             println!("  {:<26} {}", counter.name(), snapshot.counter(counter));
         }
     }
+    if !recorder.reports().is_empty() || recorder.reports_truncated() > 0 {
+        println!(
+            "flight recorder: {} black-box report(s) captured ({} dropped past the cap)",
+            recorder.reports().len(),
+            recorder.reports_truncated()
+        );
+    }
+    write_blackbox(options, &recorder)?;
     write_telemetry(options, &snapshot)?;
     Ok(())
 }
 
-/// `kodan artifacts inspect PATH` — positional arguments, not flags, so
-/// this command is dispatched before [`Options::parse`].
-pub fn artifacts(rest: &[String]) -> Result<(), String> {
-    match rest {
-        [action, path] if action == "inspect" => {
-            let report = kodan_wire::store::inspect(std::path::Path::new(path))
-                .map_err(|e| format!("failed to inspect {path}: {e}"))?;
-            print!("{report}");
-            Ok(())
+/// `kodan trace` — flies the kodan mission with a [`TraceBuilder`]
+/// attached and emits the modeled-time span forest as Chrome
+/// trace-event JSON (load it at `ui.perfetto.dev` or
+/// `chrome://tracing`). Byte-identical for any `--workers` value.
+pub fn trace(options: &Options) -> Result<(), String> {
+    let mut tracer = TraceBuilder::new();
+    fly_kodan_recorded(options, &mut tracer)?;
+    let json = tracer.to_chrome_json();
+    match &options.out {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| format!("failed to write trace to {path}: {e}"))?;
+            println!(
+                "trace written to {path} ({} events over {} frames)",
+                tracer.len(),
+                tracer.frames()
+            );
         }
-        _ => Err("usage: kodan artifacts inspect PATH".to_string()),
+        None => print!("{json}"),
     }
+    Ok(())
+}
+
+/// `kodan health` — evaluates threshold rules (built-in or `--rules`)
+/// against mission telemetry: either a `--snapshot` file from an
+/// earlier run, or a fresh mission flown under the flight recorder.
+/// Exits 0 when healthy, 2 when any rule fails.
+pub fn health(options: &Options) -> Result<ExitCode, String> {
+    let rules = match &options.rules {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("failed to read rules from {path}: {e}"))?;
+            parse_health_rules(&text).map_err(|e| format!("bad rule file {path}: {e}"))?
+        }
+        None => default_health_rules(),
+    };
+    let snapshot = match &options.snapshot {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("failed to read snapshot from {path}: {e}"))?;
+            TelemetrySnapshot::from_json(&text)
+                .map_err(|e| format!("bad snapshot {path}: {e}"))?
+        }
+        None => {
+            let mut recorder = FlightRecorder::new(SummaryRecorder::new());
+            fly_kodan_recorded(options, &mut recorder)?;
+            write_blackbox(options, &recorder)?;
+            recorder.inner().snapshot()
+        }
+    };
+    let report = evaluate_health(&snapshot, &rules);
+    print!("{}", report.to_text());
+    if let Some(path) = &options.out {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("failed to write health report to {path}: {e}"))?;
+        println!("health report written to {path}");
+    }
+    write_telemetry(options, &snapshot)?;
+    Ok(if report.healthy {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// `kodan diff BEFORE.json AFTER.json` — field-by-field comparison of
+/// two telemetry snapshots for regression triage. Exits 0 when the
+/// snapshots are identical, 3 when they differ.
+pub fn diff(rest: &[String]) -> Result<ExitCode, String> {
+    let [before_path, after_path] = rest else {
+        return Err("usage: kodan diff BEFORE.json AFTER.json".to_string());
+    };
+    let mut snapshots = Vec::new();
+    for path in [before_path, after_path] {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("failed to read snapshot from {path}: {e}"))?;
+        snapshots.push(
+            TelemetrySnapshot::from_json(&text)
+                .map_err(|e| format!("bad snapshot {path}: {e}"))?,
+        );
+    }
+    let d = diff_snapshots(&snapshots[0], &snapshots[1]);
+    print!("{}", d.to_text());
+    Ok(if d.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    })
+}
+
+/// `kodan artifacts inspect PATH [--telemetry OUT]` — positional
+/// arguments, not flags, so this command is dispatched before
+/// [`Options::parse`]. With `--telemetry OUT`, the inspection counters
+/// (objects inspected / corrupt, total bytes) are written to `OUT` as a
+/// snapshot, so a store check slots into the same `kodan diff` /
+/// `kodan health --snapshot` triage loop as a mission run.
+pub fn artifacts(rest: &[String]) -> Result<(), String> {
+    let (path, telemetry_out) = match rest {
+        [action, path] if action == "inspect" => (path, None),
+        [action, path, flag, out] if action == "inspect" && flag == "--telemetry" => {
+            (path, Some(out))
+        }
+        _ => return Err("usage: kodan artifacts inspect PATH [--telemetry OUT]".to_string()),
+    };
+    let root = std::path::Path::new(path);
+    let health = kodan_wire::store::verify(root)
+        .map_err(|e| format!("failed to inspect {path}: {e}"))?;
+    print!("{}", health.render(root));
+    if let Some(out) = telemetry_out {
+        let mut recorder = SummaryRecorder::new();
+        recorder.count(
+            CounterId::ArtifactsInspected,
+            health.objects.len() as u64,
+        );
+        recorder.count(CounterId::ArtifactsCorrupt, health.corrupt_count());
+        recorder.count(CounterId::ArtifactBytes, health.total_bytes);
+        std::fs::write(out, recorder.snapshot().to_json())
+            .map_err(|e| format!("failed to write telemetry to {out}: {e}"))?;
+        println!("  inspection telemetry written to {out}");
+    }
+    Ok(())
 }
 
 /// `kodan coverage`

@@ -8,10 +8,16 @@
 //! kodan mission   [--app 1..7] [--target orin|i7|1070ti] [--sats N]
 //!                 [--load-artifacts DIR]
 //! kodan coverage  [--app 1..7] [--target orin|i7|1070ti]
-//! kodan artifacts inspect PATH
+//! kodan artifacts inspect PATH [--telemetry OUT]
+//! kodan trace     [mission flags] [--out PATH]
+//! kodan health    [mission flags] [--rules PATH] [--snapshot PATH]
+//!                 [--out PATH] [--blackbox PATH]
+//! kodan diff      BEFORE.json AFTER.json
 //! ```
 //!
-//! Every subcommand is deterministic for a given `--seed`.
+//! Every subcommand is deterministic for a given `--seed`. Exit codes:
+//! 0 success, 1 error, 2 `health` found a failing rule, 3 `diff` found
+//! differing snapshots.
 
 mod args;
 mod commands;
@@ -24,11 +30,20 @@ fn main() -> ExitCode {
         eprintln!("{}", commands::USAGE);
         return ExitCode::FAILURE;
     };
-    // `artifacts` takes positional arguments (`inspect PATH`), not the
-    // shared flag set, so it is dispatched before Options::parse.
+    // `artifacts` and `diff` take positional arguments, not the shared
+    // flag set, so they are dispatched before Options::parse.
     if command == "artifacts" {
         return match commands::artifacts(rest) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if command == "diff" {
+        return match commands::diff(rest) {
+            Ok(code) => code,
             Err(message) => {
                 eprintln!("error: {message}");
                 ExitCode::FAILURE
@@ -43,6 +58,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `health` owns its exit code (2 = unhealthy), so it bypasses the
+    // shared Ok/Err mapping below.
+    if command == "health" {
+        return match commands::health(&options) {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match command.as_str() {
         "dataset" => commands::dataset(&options),
         "contexts" => commands::contexts(&options),
@@ -50,6 +76,7 @@ fn main() -> ExitCode {
         "select" => commands::select(&options),
         "mission" => commands::mission(&options),
         "coverage" => commands::coverage(&options),
+        "trace" => commands::trace(&options),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

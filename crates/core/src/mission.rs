@@ -232,7 +232,10 @@ impl<'a> Mission<'a> {
 
     /// [`Mission::run_with_runtime`] with telemetry: frame sampling and
     /// every per-frame runtime decision are reported to `recorder` (see
-    /// [`Runtime::process_frame_recorded`]).
+    /// [`Runtime::process_frame_recorded`]). Any `Recorder` works —
+    /// summary, tape, trace builder, flight recorder — and each sees the
+    /// same byte-identical stream at any worker count, which is what the
+    /// `kodan trace` / `kodan health` surfaces are built on.
     pub fn run_with_runtime_recorded(
         &self,
         runtime: &Runtime,

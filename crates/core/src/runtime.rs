@@ -9,6 +9,18 @@
 //! this machine is not a Jetson), but the data path is real: tiles are
 //! actually resized, featurized and classified, and the value accounting
 //! compares predictions against ground truth pixel by pixel.
+//!
+//! Every decision narrates itself through the [`Recorder`] passed to
+//! `process_frames_recorded`. The event/span stream this module emits is
+//! an observability *contract*: the flight recorder's black-box windows,
+//! the Chrome trace export and the health monitor's counters (all in
+//! `kodan-telemetry`) are built from exactly these calls, and the
+//! determinism suite pins their byte-identity across worker counts — so
+//! reordering, dropping or duplicating an emission here is a visible
+//! regression, not a cosmetic change. Per-frame streams are captured on
+//! tapes by [`par::par_map_recorded`] and replayed in frame order, which
+//! is what makes any recorder (summary, tape, trace, flight) see the
+//! serial event order regardless of `workers`.
 
 use crate::elide::Action;
 use crate::engine::EngineKind;

@@ -12,7 +12,11 @@
 //! The plan only *decides* faults; the runtime policies that survive them
 //! (checksum fallback, retry-with-backoff, value-aware queue shedding)
 //! live in `kodan-core` and consume the [`FrameFaults`] /
-//! [`ContactFault`] decisions this crate hands out.
+//! [`ContactFault`] decisions this crate hands out. Each recovery the
+//! runtime takes is announced as a `FaultRecovered` telemetry event —
+//! the trigger that makes `kodan-telemetry`'s flight recorder freeze a
+//! black-box window of the frames leading up to it, so every
+//! degradation in a mission has a replayable causal record.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]

@@ -47,12 +47,16 @@ pub struct Node {
 /// - `Mission::run*` — the mission simulation driving that path;
 /// - `Transformation::run*` — ground-side pipeline synthesis whose
 ///   outputs are uplinked verbatim;
+/// - `TelemetrySnapshot::from_json` — the snapshot parser behind
+///   `kodan health --snapshot` and `kodan diff`, which must be total
+///   on arbitrary (possibly corrupted) input files;
 /// - every `wire` `Decode` impl — the first code that touches bytes
 ///   arriving over the radio.
-const ENTRY_PREFIXES: [&str; 3] = [
+const ENTRY_PREFIXES: [&str; 4] = [
     "Runtime::process_frame",
     "Mission::run",
     "Transformation::run",
+    "TelemetrySnapshot::from_json",
 ];
 
 fn is_entry(display: &str, name: &str, trait_name: Option<&str>) -> bool {

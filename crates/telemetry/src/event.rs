@@ -209,11 +209,15 @@ pub enum CounterId {
     /// Artifacts rejected at load time (bad checksum or malformed
     /// payload) and replaced by a fallback model.
     ArtifactsRecovered,
+    /// Store objects examined by an inspection pass.
+    ArtifactsInspected,
+    /// Of the inspected objects, how many failed verification.
+    ArtifactsCorrupt,
 }
 
 impl CounterId {
     /// Every counter, in canonical serialization order.
-    pub const ALL: [CounterId; 25] = [
+    pub const ALL: [CounterId; 27] = [
         CounterId::FramesProcessed,
         CounterId::TilesObserved,
         CounterId::TilesDiscarded,
@@ -239,6 +243,8 @@ impl CounterId {
         CounterId::ArtifactsSaved,
         CounterId::ArtifactBytes,
         CounterId::ArtifactsRecovered,
+        CounterId::ArtifactsInspected,
+        CounterId::ArtifactsCorrupt,
     ];
 
     /// Stable snake_case name used in snapshots.
@@ -269,6 +275,8 @@ impl CounterId {
             CounterId::ArtifactsSaved => "artifacts_saved",
             CounterId::ArtifactBytes => "artifact_bytes",
             CounterId::ArtifactsRecovered => "artifacts_recovered",
+            CounterId::ArtifactsInspected => "artifacts_inspected",
+            CounterId::ArtifactsCorrupt => "artifacts_corrupt",
         }
     }
 

@@ -1,0 +1,439 @@
+//! Declarative mission health rules and the deterministic health report.
+//!
+//! A [`HealthRule`] is a threshold over the rolled-up snapshot: a
+//! counter, a ratio of two counters, or a histogram mean, compared
+//! against a bound. Rules are evaluated at mission end by
+//! [`evaluate_health`]; the resulting [`HealthReport`] is byte-stable
+//! and drives `kodan health`'s exit code (healthy → 0, unhealthy → 2).
+//!
+//! A rule whose metric is undefined on the snapshot — a ratio with a
+//! zero denominator, or an empty histogram — records `observed: null`
+//! and passes vacuously: "no evidence of violation" is not a failure,
+//! and a mission that never enqueued a pixel should not flunk its DVD
+//! floor.
+//!
+//! Rule files are plain text, one rule per line, `#` comments allowed:
+//!
+//! ```text
+//! pixels_value / pixels_sent >= 0.35
+//! queue_entries_shed / tiles_observed <= 0.5
+//! mean(frame_precision) >= 0.3
+//! artifacts_recovered <= 0
+//! ```
+
+use crate::event::{CounterId, HistogramId};
+use crate::json::{format_f64, JsonWriter};
+use crate::snapshot::TelemetrySnapshot;
+use std::fmt::Write as _;
+
+/// The quantity a rule observes on the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthMetric {
+    /// A single counter's value.
+    Counter(String),
+    /// Numerator / denominator over two counters; undefined when the
+    /// denominator is zero.
+    Ratio(String, String),
+    /// A histogram's mean; undefined when the histogram is empty.
+    HistogramMean(String),
+}
+
+impl HealthMetric {
+    fn render(&self) -> String {
+        match self {
+            HealthMetric::Counter(name) => name.clone(),
+            HealthMetric::Ratio(num, den) => format!("{num} / {den}"),
+            HealthMetric::HistogramMean(name) => format!("mean({name})"),
+        }
+    }
+
+    fn observe(&self, snapshot: &TelemetrySnapshot) -> Option<f64> {
+        match self {
+            HealthMetric::Counter(name) => {
+                Some(snapshot.counters.get(name).copied().unwrap_or(0) as f64)
+            }
+            HealthMetric::Ratio(num, den) => {
+                let d = snapshot.counters.get(den).copied().unwrap_or(0);
+                if d == 0 {
+                    None
+                } else {
+                    let n = snapshot.counters.get(num).copied().unwrap_or(0);
+                    Some(n as f64 / d as f64)
+                }
+            }
+            HealthMetric::HistogramMean(name) => {
+                snapshot.histograms.get(name).and_then(|h| h.mean_opt())
+            }
+        }
+    }
+}
+
+/// The comparison a rule applies to its observed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthOp {
+    /// Observed must be `>=` the threshold.
+    AtLeast,
+    /// Observed must be `<=` the threshold.
+    AtMost,
+}
+
+impl HealthOp {
+    /// The operator's source form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            HealthOp::AtLeast => ">=",
+            HealthOp::AtMost => "<=",
+        }
+    }
+
+    fn holds(self, observed: f64, threshold: f64) -> bool {
+        match self {
+            HealthOp::AtLeast => observed >= threshold,
+            HealthOp::AtMost => observed <= threshold,
+        }
+    }
+}
+
+/// One declarative threshold rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthRule {
+    /// What to observe.
+    pub metric: HealthMetric,
+    /// How to compare it.
+    pub op: HealthOp,
+    /// The bound.
+    pub threshold: f64,
+}
+
+impl HealthRule {
+    /// The rule's canonical source form, e.g.
+    /// `pixels_value / pixels_sent >= 0.35`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} {}",
+            self.metric.render(),
+            self.op.symbol(),
+            format_f64(self.threshold)
+        )
+    }
+}
+
+/// The default mission health rules: the paper's data-value-density
+/// floor, a shed-fraction ceiling, a retry-exhaustion budget, and a
+/// zero-tolerance artifact-recovery budget (any quarantine is worth
+/// triage).
+pub fn default_health_rules() -> Vec<HealthRule> {
+    vec![
+        HealthRule {
+            metric: HealthMetric::Ratio(
+                CounterId::PixelsValue.name().to_string(),
+                CounterId::PixelsSent.name().to_string(),
+            ),
+            op: HealthOp::AtLeast,
+            threshold: 0.35,
+        },
+        HealthRule {
+            metric: HealthMetric::Ratio(
+                CounterId::QueueEntriesShed.name().to_string(),
+                CounterId::TilesObserved.name().to_string(),
+            ),
+            op: HealthOp::AtMost,
+            threshold: 0.5,
+        },
+        HealthRule {
+            metric: HealthMetric::Ratio(
+                CounterId::FaultClassifyExhausted.name().to_string(),
+                CounterId::TilesObserved.name().to_string(),
+            ),
+            op: HealthOp::AtMost,
+            threshold: 0.25,
+        },
+        HealthRule {
+            metric: HealthMetric::Counter(
+                CounterId::ArtifactsRecovered.name().to_string(),
+            ),
+            op: HealthOp::AtMost,
+            threshold: 0.0,
+        },
+    ]
+}
+
+fn known_counter(name: &str) -> bool {
+    CounterId::ALL.iter().any(|c| c.name() == name)
+}
+
+fn parse_metric(text: &str) -> Result<HealthMetric, String> {
+    let text = text.trim();
+    if let Some((num, den)) = text.split_once('/') {
+        let (num, den) = (num.trim(), den.trim());
+        for name in [num, den] {
+            if !known_counter(name) {
+                return Err(format!("unknown counter `{name}`"));
+            }
+        }
+        return Ok(HealthMetric::Ratio(num.to_string(), den.to_string()));
+    }
+    if let Some(inner) = text
+        .strip_prefix("mean(")
+        .and_then(|rest| rest.strip_suffix(')'))
+    {
+        let inner = inner.trim();
+        if !HistogramId::ALL.iter().any(|h| h.name() == inner) {
+            return Err(format!("unknown histogram `{inner}`"));
+        }
+        return Ok(HealthMetric::HistogramMean(inner.to_string()));
+    }
+    if !known_counter(text) {
+        return Err(format!("unknown counter `{text}`"));
+    }
+    Ok(HealthMetric::Counter(text.to_string()))
+}
+
+/// Parses a rule file (see the module docs for the format). Metric
+/// names are validated against the counter/histogram vocabulary so
+/// typos fail at load time, not silently at evaluation.
+pub fn parse_health_rules(text: &str) -> Result<Vec<HealthRule>, String> {
+    let mut rules = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |message: String| format!("rule line {}: {message}", lineno + 1);
+        let (metric_text, op, threshold_text) =
+            if let Some((m, t)) = line.split_once(">=") {
+                (m, HealthOp::AtLeast, t)
+            } else if let Some((m, t)) = line.split_once("<=") {
+                (m, HealthOp::AtMost, t)
+            } else {
+                return Err(at("missing `>=` or `<=`".to_string()));
+            };
+        let threshold = threshold_text
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| at(format!("bad threshold `{}`", threshold_text.trim())))?;
+        let metric = parse_metric(metric_text).map_err(at)?;
+        rules.push(HealthRule {
+            metric,
+            op,
+            threshold,
+        });
+    }
+    if rules.is_empty() {
+        return Err("rule file defines no rules".to_string());
+    }
+    Ok(rules)
+}
+
+/// One rule's evaluation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleResult {
+    /// The rule's canonical source form.
+    pub rule: String,
+    /// The observed value, `None` when the metric was undefined on the
+    /// snapshot (serialized as JSON `null`).
+    pub observed: Option<f64>,
+    /// The rule's bound.
+    pub threshold: f64,
+    /// The operator's source form (`>=` / `<=`).
+    pub op: String,
+    /// Whether the rule held (vacuously true when `observed` is
+    /// `None`).
+    pub pass: bool,
+}
+
+/// The deterministic health report: every rule's outcome plus the
+/// overall verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Per-rule outcomes, in rule order.
+    pub rules: Vec<RuleResult>,
+    /// True when every rule passed.
+    pub healthy: bool,
+}
+
+impl HealthReport {
+    /// Number of failed rules.
+    pub fn failures(&self) -> usize {
+        self.rules.iter().filter(|r| !r.pass).count()
+    }
+
+    /// Serializes the report to byte-deterministic JSON. Undefined
+    /// observations render as explicit `null`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+        w.uint(Some("health_version"), 1);
+        w.string(
+            Some("verdict"),
+            if self.healthy { "healthy" } else { "unhealthy" },
+        );
+        w.open_array(Some("rules"));
+        for r in &self.rules {
+            w.open_object(None);
+            w.string(Some("rule"), &r.rule);
+            w.float(Some("observed"), r.observed.unwrap_or(f64::NAN));
+            w.float(Some("threshold"), r.threshold);
+            w.string(Some("op"), &r.op);
+            w.string(Some("pass"), if r.pass { "pass" } else { "fail" });
+            w.close_object();
+        }
+        w.close_array();
+        w.close_object();
+        w.finish()
+    }
+
+    /// A console rendering: one line of verdict, one line per rule.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "health: {} ({} of {} rules failed)",
+            if self.healthy { "PASS" } else { "FAIL" },
+            self.failures(),
+            self.rules.len()
+        );
+        for r in &self.rules {
+            let observed = match r.observed {
+                Some(v) => format_f64(v),
+                None => "n/a".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {} {} (observed {observed})",
+                if r.pass { "ok  " } else { "FAIL" },
+                r.rule
+            );
+        }
+        out
+    }
+}
+
+/// Evaluates `rules` over `snapshot` (see the module docs for the
+/// undefined-metric policy).
+pub fn evaluate_health(snapshot: &TelemetrySnapshot, rules: &[HealthRule]) -> HealthReport {
+    let results: Vec<RuleResult> = rules
+        .iter()
+        .map(|rule| {
+            let observed = rule.metric.observe(snapshot);
+            let pass = observed.map_or(true, |v| rule.op.holds(v, rule.threshold));
+            RuleResult {
+                rule: rule.render(),
+                observed,
+                threshold: rule.threshold,
+                op: rule.op.symbol().to_string(),
+                pass,
+            }
+        })
+        .collect();
+    let healthy = results.iter().all(|r| r.pass);
+    HealthReport {
+        rules: results,
+        healthy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_with(counters: &[(CounterId, u64)]) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::empty();
+        for (id, v) in counters {
+            s.counters.insert(id.name().to_string(), *v);
+        }
+        s
+    }
+
+    #[test]
+    fn default_rules_pass_on_a_clean_mission() {
+        let snapshot = snapshot_with(&[
+            (CounterId::PixelsSent, 100),
+            (CounterId::PixelsValue, 60),
+            (CounterId::TilesObserved, 400),
+        ]);
+        let report = evaluate_health(&snapshot, &default_health_rules());
+        assert!(report.healthy, "report: {}", report.to_text());
+        assert_eq!(report.failures(), 0);
+    }
+
+    #[test]
+    fn dvd_floor_violation_fails_the_report() {
+        let snapshot = snapshot_with(&[
+            (CounterId::PixelsSent, 100),
+            (CounterId::PixelsValue, 10),
+        ]);
+        let report = evaluate_health(&snapshot, &default_health_rules());
+        assert!(!report.healthy);
+        assert_eq!(report.failures(), 1);
+        let text = report.to_text();
+        assert!(text.contains("FAIL pixels_value / pixels_sent >= 0.35"), "{text}");
+    }
+
+    #[test]
+    fn undefined_metrics_pass_vacuously_with_null_observed() {
+        let report = evaluate_health(&TelemetrySnapshot::empty(), &default_health_rules());
+        assert!(report.healthy);
+        let json = report.to_json();
+        assert!(json.contains("\"observed\": null"), "json: {json}");
+        assert!(!json.contains("NaN"), "json: {json}");
+        assert!(crate::parse::parse_json(&json).is_ok());
+    }
+
+    #[test]
+    fn rule_files_parse_and_render_canonically() {
+        let rules = parse_health_rules(
+            "# mission floor\npixels_value / pixels_sent >= 0.5\n\nmean(frame_precision) >= 0.3 # inline\nartifacts_recovered <= 2\n",
+        )
+        .expect("parse");
+        assert_eq!(rules.len(), 3);
+        assert_eq!(
+            rules.first().map(|r| r.render()),
+            Some("pixels_value / pixels_sent >= 0.5".to_string())
+        );
+        assert_eq!(
+            rules.last().map(|r| r.render()),
+            Some("artifacts_recovered <= 2.0".to_string())
+        );
+    }
+
+    #[test]
+    fn rule_files_reject_typos_and_garbage() {
+        for text in [
+            "",
+            "pixels_value > 0.5",
+            "pixels_valu / pixels_sent >= 0.5",
+            "mean(nope) >= 0.5",
+            "pixels_sent >= banana",
+            "pixels_sent >= inf",
+        ] {
+            assert!(parse_health_rules(text).is_err(), "accepted: {text:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_mean_rules_observe_the_mean() {
+        let mut snapshot = TelemetrySnapshot::empty();
+        if let Some(h) = snapshot.histograms.get_mut("frame_precision") {
+            h.count = 4;
+            h.sum = 2.0;
+        }
+        let rules = parse_health_rules("mean(frame_precision) >= 0.6\n").expect("parse");
+        let report = evaluate_health(&snapshot, &rules);
+        assert!(!report.healthy);
+        assert_eq!(
+            report.rules.first().and_then(|r| r.observed),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn report_json_is_byte_deterministic() {
+        let snapshot = snapshot_with(&[(CounterId::PixelsSent, 10)]);
+        let a = evaluate_health(&snapshot, &default_health_rules());
+        let b = evaluate_health(&snapshot, &default_health_rules());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

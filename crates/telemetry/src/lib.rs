@@ -33,20 +33,51 @@
 //! A [`SummaryRecorder`] folds all three into a [`TelemetrySnapshot`],
 //! which serializes to schema-stable, byte-deterministic JSON via
 //! [`snapshot::TelemetrySnapshot::to_json`] — the workspace's serde is an
-//! offline no-op shim, so the writer lives here ([`json`]).
+//! offline no-op shim, so the writer lives here ([`json`]) and its
+//! mirror, a total JSON parser, in [`parse`].
+//!
+//! On top of the recorder sit the mission-observability layers:
+//!
+//! - **Flight recorder** ([`FlightRecorder`]): a bounded ring of recent
+//!   frames' events, frozen into byte-stable [`BlackBoxReport`]s
+//!   whenever a degradation fires.
+//! - **Trace export** ([`TraceBuilder`]): the modeled-time span forest
+//!   as Chrome trace-event JSON, loadable in Perfetto, byte-identical
+//!   at any worker count.
+//! - **Health monitor** ([`HealthRule`], [`evaluate_health`]):
+//!   declarative thresholds over counters/histograms producing a
+//!   deterministic [`HealthReport`].
+//! - **Snapshot diff** ([`diff_snapshots`]): field-by-field cross-run
+//!   comparison for regression triage.
+//! - **Wire sealing** ([`wire`]): black-box and health reports in
+//!   CRC-checked `kodan-wire` envelopes for the modeled downlink.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod diff;
 pub mod event;
+pub mod flight;
+pub mod health;
 pub mod json;
+pub mod parse;
 pub mod recorder;
 pub mod snapshot;
 pub mod tape;
+pub mod trace;
+pub mod wire;
 
+pub use diff::{diff_snapshots, DiffEntry, SnapshotDiff};
 pub use event::{
     ActionKind, CounterId, FaultKind, HistogramId, RecoveryKind, StageId, TelemetryEvent,
+};
+pub use flight::{BlackBoxReport, FlightLog, FlightRecorder, FrameWindow};
+pub use health::{
+    default_health_rules, evaluate_health, parse_health_rules, HealthMetric, HealthOp,
+    HealthReport, HealthRule, RuleResult,
 };
 pub use recorder::{NullRecorder, Recorder, SummaryRecorder};
 pub use snapshot::{HistogramSnapshot, SpanTotal, TelemetrySnapshot};
 pub use tape::{TapeEntry, TapeRecorder};
+pub use trace::TraceBuilder;
+pub use wire::{open_blackbox, open_health, seal_blackbox, seal_health};

@@ -6,8 +6,10 @@ use std::collections::BTreeMap;
 
 /// Schema version stamped into every serialized snapshot; bump when a
 /// field is added, renamed or re-typed. Version 2 added the fault and
-/// degradation counters; version 3 added the artifact uplink counters.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
+/// degradation counters; version 3 added the artifact uplink counters;
+/// version 4 added the artifact inspection counters and derived
+/// histogram statistics (`mean`/`p50`/`p90`/`p99`, `null` when empty).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
 
 /// Accumulated totals for one span stage.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -56,11 +58,39 @@ impl HistogramSnapshot {
 
     /// Mean observed value, 0 when empty.
     pub fn mean(&self) -> f64 {
+        self.mean_opt().unwrap_or(0.0)
+    }
+
+    /// Mean observed value, `None` when the histogram is empty. The
+    /// serialized form renders `None` as JSON `null` — never `NaN`,
+    /// which is not valid JSON.
+    pub fn mean_opt(&self) -> Option<f64> {
         if self.count == 0 {
-            0.0
+            None
         } else {
-            self.sum / self.count as f64
+            Some(self.sum / self.count as f64)
         }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) from the bucket counts:
+    /// the upper bound of the first bucket whose cumulative count
+    /// reaches `q * count`, or the observed max for the overflow
+    /// bucket. `None` when empty or `q` is not finite.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !q.is_finite() {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*bucket);
+            if cumulative as f64 >= rank {
+                // Buckets beyond the compiled bounds are the overflow
+                // bucket; the observed max is its best estimate.
+                return Some(self.bounds.get(i).copied().unwrap_or(self.max));
+            }
+        }
+        Some(self.max)
     }
 }
 
@@ -218,6 +248,12 @@ impl TelemetrySnapshot {
             w.float(Some("sum"), h.sum);
             w.float(Some("min"), h.min);
             w.float(Some("max"), h.max);
+            // Derived statistics: `JsonWriter::float` renders the NaN
+            // placeholder for an empty histogram as explicit `null`.
+            w.float(Some("mean"), h.mean_opt().unwrap_or(f64::NAN));
+            w.float(Some("p50"), h.percentile(0.5).unwrap_or(f64::NAN));
+            w.float(Some("p90"), h.percentile(0.9).unwrap_or(f64::NAN));
+            w.float(Some("p99"), h.percentile(0.99).unwrap_or(f64::NAN));
             w.close_object();
         }
         w.close_object();
@@ -264,7 +300,7 @@ mod tests {
         a.journal.push(vec!["frame_captured pixels=4".to_string()]);
         let b = a.clone();
         assert_eq!(a.to_json(), b.to_json());
-        assert!(a.to_json().contains("\"schema_version\": 3"));
+        assert!(a.to_json().contains("\"schema_version\": 4"));
         assert!(a.to_json().contains("\"c00\": 7"));
     }
 
@@ -272,6 +308,34 @@ mod tests {
     fn histogram_mean_guards_empty() {
         let h = HistogramSnapshot::empty(HistogramId::FramePrecision);
         assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.mean_opt(), None);
+        assert_eq!(h.percentile(0.5), None);
+    }
+
+    #[test]
+    fn empty_histogram_statistics_serialize_as_null() {
+        let json = TelemetrySnapshot::empty().to_json();
+        assert!(json.contains("\"mean\": null"), "json: {json}");
+        assert!(json.contains("\"p50\": null"), "json: {json}");
+        assert!(json.contains("\"p99\": null"), "json: {json}");
+        assert!(!json.contains("NaN"), "json: {json}");
+    }
+
+    #[test]
+    fn histogram_percentiles_follow_bucket_bounds() {
+        let mut h = HistogramSnapshot::empty(HistogramId::FramePrecision);
+        // 10 observations in the first bucket, 10 in the overflow.
+        let first = h.counts.first_mut().expect("bucket");
+        *first = 10;
+        let last = h.counts.last_mut().expect("bucket");
+        *last = 10;
+        h.count = 20;
+        h.sum = 12.0;
+        h.max = 1.5;
+        let lowest = h.bounds.first().copied().expect("bounds");
+        assert_eq!(h.percentile(0.25), Some(lowest));
+        assert_eq!(h.percentile(0.99), Some(1.5), "overflow uses max");
+        assert_eq!(h.mean_opt(), Some(0.6));
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Chrome trace-event export of the modeled-time span forest.
+//!
+//! A [`TraceBuilder`] is a [`Recorder`] that reconstructs a timeline
+//! from the serial telemetry sequence and serializes it as Chrome
+//! trace-event JSON (the `{"traceEvents": [...]}` format), directly
+//! loadable in Perfetto or `chrome://tracing`.
+//!
+//! The timeline is *modeled* time, not wall-clock time: the runtime
+//! attributes modeled seconds to each stage, and the builder lays a
+//! frame's child stages (preprocess → classification → elision → model
+//! execution → accounting) end-to-end from the frame's start, exactly
+//! reproducing the span forest of [`crate::TelemetrySnapshot`]. Track 0
+//! is the on-orbit runtime, track 1 the ground transformation. Fault
+//! injections and recoveries appear as instant events at the modeled
+//! moment they were absorbed.
+//!
+//! Because the builder only consumes the serial sequence (worker tapes
+//! replay in frame-index order), [`TraceBuilder::to_chrome_json`] is
+//! byte-identical at any worker count.
+
+use crate::event::TelemetryEvent;
+use crate::json::JsonWriter;
+use crate::recorder::Recorder;
+use crate::{CounterId, HistogramId, StageId};
+
+/// Microseconds per modeled second (Chrome trace timestamps are µs).
+const MICROS: f64 = 1.0e6;
+
+/// One finished trace event.
+#[derive(Debug, Clone, PartialEq)]
+struct TraceEvent {
+    /// Event name (stage name or rendered fault event).
+    name: String,
+    /// Category: `mission`, `runtime`, `ground`, or `fault`.
+    cat: &'static str,
+    /// Phase: `X` (complete span) or `i` (instant).
+    ph: &'static str,
+    /// Start timestamp, µs of modeled time.
+    ts: f64,
+    /// Duration, µs (zero for instants).
+    dur: f64,
+    /// Track: 0 = on-orbit runtime, 1 = ground transformation.
+    tid: u64,
+    /// Work items the span handled (`args.items`), if any.
+    items: Option<u64>,
+}
+
+/// A [`Recorder`] that builds a Chrome trace from the telemetry stream.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    events: Vec<TraceEvent>,
+    /// Modeled-time cursor on the runtime track, seconds.
+    mission_cursor: f64,
+    /// Start of the currently open frame, if any.
+    frame_open: Option<f64>,
+    /// Lay-out cursor for the open frame's child stages.
+    child_cursor: f64,
+    /// Lay-out cursor for ground-side transformation stages.
+    ground_cursor: f64,
+    /// Frames seen so far.
+    frames: u64,
+}
+
+impl TraceBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Number of trace events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Frames observed so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Serializes the collected events as Chrome trace-event JSON,
+    /// byte-deterministic for a given recorded history.
+    pub fn to_chrome_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object(None);
+        w.string(Some("displayTimeUnit"), "ms");
+        w.open_array(Some("traceEvents"));
+        for e in &self.events {
+            w.open_object(None);
+            w.string(Some("name"), &e.name);
+            w.string(Some("cat"), e.cat);
+            w.string(Some("ph"), e.ph);
+            w.float(Some("ts"), e.ts);
+            if e.ph == "X" {
+                w.float(Some("dur"), e.dur);
+            } else {
+                // Thread-scoped instant marker.
+                w.string(Some("s"), "t");
+            }
+            w.uint(Some("pid"), 1);
+            w.uint(Some("tid"), e.tid);
+            if let Some(items) = e.items {
+                w.open_object(Some("args"));
+                w.uint(Some("items"), items);
+                w.close_object();
+            }
+            w.close_object();
+        }
+        w.close_array();
+        w.close_object();
+        w.finish()
+    }
+}
+
+impl Recorder for TraceBuilder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&mut self, event: TelemetryEvent) {
+        match event {
+            TelemetryEvent::FrameCaptured { .. } => {
+                self.frames += 1;
+                self.frame_open = Some(self.mission_cursor);
+                self.child_cursor = self.mission_cursor;
+            }
+            TelemetryEvent::FaultInjected { .. }
+            | TelemetryEvent::FaultRecovered { .. } => {
+                self.push(TraceEvent {
+                    name: event.to_string(),
+                    cat: "fault",
+                    ph: "i",
+                    ts: self.child_cursor * MICROS,
+                    dur: 0.0,
+                    tid: 0,
+                    items: None,
+                });
+            }
+            // Tile-granular events are already summarized by the stage
+            // spans; emitting millions of them would drown the trace.
+            _ => {}
+        }
+    }
+
+    fn span(&mut self, stage: StageId, modeled_seconds: f64, items: u64) {
+        match stage {
+            StageId::Mission => self.push(TraceEvent {
+                name: stage.name().to_string(),
+                cat: "mission",
+                ph: "X",
+                ts: 0.0,
+                dur: modeled_seconds * MICROS,
+                tid: 0,
+                items: Some(items),
+            }),
+            StageId::Frame => {
+                let start = self.frame_open.take().unwrap_or(self.mission_cursor);
+                self.push(TraceEvent {
+                    name: stage.name().to_string(),
+                    cat: "runtime",
+                    ph: "X",
+                    ts: start * MICROS,
+                    dur: modeled_seconds * MICROS,
+                    tid: 0,
+                    items: Some(items),
+                });
+                self.mission_cursor = start + modeled_seconds;
+                self.child_cursor = self.mission_cursor;
+            }
+            StageId::Preprocess
+            | StageId::Classification
+            | StageId::Elision
+            | StageId::ModelExecution
+            | StageId::Accounting
+            | StageId::FrameSampling => {
+                self.push(TraceEvent {
+                    name: stage.name().to_string(),
+                    cat: "runtime",
+                    ph: "X",
+                    ts: self.child_cursor * MICROS,
+                    dur: modeled_seconds * MICROS,
+                    tid: 0,
+                    items: Some(items),
+                });
+                self.child_cursor += modeled_seconds;
+            }
+            StageId::Transformation
+            | StageId::ContextGeneration
+            | StageId::EngineTraining
+            | StageId::Specialization
+            | StageId::Validation => {
+                self.push(TraceEvent {
+                    name: stage.name().to_string(),
+                    cat: "ground",
+                    ph: "X",
+                    ts: self.ground_cursor * MICROS,
+                    dur: modeled_seconds * MICROS,
+                    tid: 1,
+                    items: Some(items),
+                });
+                self.ground_cursor += modeled_seconds;
+            }
+        }
+    }
+
+    fn count(&mut self, _counter: CounterId, _amount: u64) {}
+
+    fn observe(&mut self, _histogram: HistogramId, _value: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FaultKind, RecoveryKind};
+
+    fn fly_two_frames(recorder: &mut dyn Recorder) {
+        recorder.span(StageId::ContextGeneration, 0.0, 4);
+        recorder.span(StageId::Transformation, 0.0, 1);
+        for pixels in [64u64, 81] {
+            recorder.event(TelemetryEvent::FrameCaptured { pixels });
+            recorder.span(StageId::Preprocess, 0.5, 1);
+            recorder.span(StageId::Classification, 0.25, 4);
+            recorder.event(TelemetryEvent::FaultInjected {
+                kind: FaultKind::Seu,
+            });
+            recorder.event(TelemetryEvent::FaultRecovered {
+                kind: RecoveryKind::ModelFallback,
+            });
+            recorder.span(StageId::ModelExecution, 0.25, 3);
+            recorder.span(StageId::Frame, 1.0, 1);
+        }
+        recorder.span(StageId::Mission, 2.0, 2);
+    }
+
+    #[test]
+    fn frames_advance_the_modeled_cursor() {
+        let mut trace = TraceBuilder::new();
+        fly_two_frames(&mut trace);
+        assert_eq!(trace.frames(), 2);
+        let frames: Vec<&TraceEvent> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "frame")
+            .collect();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames.first().map(|e| e.ts), Some(0.0));
+        // Second frame starts where the first ended: 1 s = 1e6 µs.
+        assert_eq!(frames.last().map(|e| e.ts), Some(1.0e6));
+        // Children lie inside their frame, end to end.
+        let classify: Vec<&TraceEvent> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "classification")
+            .collect();
+        assert_eq!(classify.first().map(|e| e.ts), Some(0.5e6));
+        assert_eq!(classify.last().map(|e| e.ts), Some(1.5e6));
+    }
+
+    #[test]
+    fn ground_stages_use_their_own_track() {
+        let mut trace = TraceBuilder::new();
+        fly_two_frames(&mut trace);
+        assert!(trace
+            .events
+            .iter()
+            .filter(|e| e.cat == "ground")
+            .all(|e| e.tid == 1));
+        assert!(trace
+            .events
+            .iter()
+            .filter(|e| e.cat == "runtime")
+            .all(|e| e.tid == 0));
+    }
+
+    #[test]
+    fn fault_instants_land_at_the_modeled_moment() {
+        let mut trace = TraceBuilder::new();
+        fly_two_frames(&mut trace);
+        let instants: Vec<&TraceEvent> =
+            trace.events.iter().filter(|e| e.ph == "i").collect();
+        assert_eq!(instants.len(), 4);
+        // First frame's faults fire after preprocess + classification.
+        assert_eq!(instants.first().map(|e| e.ts), Some(0.75e6));
+    }
+
+    #[test]
+    fn chrome_json_is_byte_deterministic_and_valid() {
+        let mut a = TraceBuilder::new();
+        let mut b = TraceBuilder::new();
+        fly_two_frames(&mut a);
+        fly_two_frames(&mut b);
+        let json = a.to_chrome_json();
+        assert_eq!(json, b.to_chrome_json());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(crate::parse::parse_json(&json).is_ok(), "json: {json}");
+    }
+
+    #[test]
+    fn empty_builder_serializes_an_empty_trace() {
+        let trace = TraceBuilder::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"traceEvents\": []"), "json: {json}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Wire serialization for observability reports.
+//!
+//! Black-box logs and health reports are mission *outputs*: on a real
+//! bus they ride the downlink alongside science data, so they get the
+//! same treatment as every other deployable — a canonical
+//! `kodan-wire` encoding sealed in a versioned, CRC-checked envelope
+//! ([`kodan_wire::envelope::KIND_BLACKBOX`] /
+//! [`kodan_wire::envelope::KIND_HEALTH`]). Decoding is total: every
+//! corrupted or truncated input surfaces as a typed
+//! [`WireError`], never a panic, matching the discipline the lint
+//! gate enforces on all `Decode` impls.
+
+use crate::event::RecoveryKind;
+use crate::flight::{BlackBoxReport, FlightLog, FrameWindow};
+use crate::health::{HealthReport, RuleResult};
+use kodan_wire::envelope::{KIND_BLACKBOX, KIND_HEALTH};
+use kodan_wire::{open, seal, Dec, Decode, Enc, Encode, WireError};
+
+impl Encode for RecoveryKind {
+    fn encode(&self, enc: &mut Enc) {
+        let tag: u8 = match self {
+            RecoveryKind::ModelFallback => 0,
+            RecoveryKind::ClassifyRetry => 1,
+            RecoveryKind::ClassifyGaveUp => 2,
+            RecoveryKind::QueueShed => 3,
+        };
+        enc.u8(tag);
+    }
+}
+
+impl Decode for RecoveryKind {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        match dec.u8()? {
+            0 => Ok(RecoveryKind::ModelFallback),
+            1 => Ok(RecoveryKind::ClassifyRetry),
+            2 => Ok(RecoveryKind::ClassifyGaveUp),
+            3 => Ok(RecoveryKind::QueueShed),
+            tag => Err(WireError::BadTag {
+                what: "RecoveryKind",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl Encode for FrameWindow {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.frame);
+        self.events.encode(enc);
+    }
+}
+
+impl Decode for FrameWindow {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(FrameWindow {
+            frame: dec.u64()?,
+            events: Vec::<String>::decode(dec)?,
+        })
+    }
+}
+
+impl Encode for BlackBoxReport {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.sequence);
+        self.trigger.encode(enc);
+        enc.u64(self.frame);
+        self.window.encode(enc);
+    }
+}
+
+impl Decode for BlackBoxReport {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(BlackBoxReport {
+            sequence: dec.u64()?,
+            trigger: RecoveryKind::decode(dec)?,
+            frame: dec.u64()?,
+            window: Vec::<FrameWindow>::decode(dec)?,
+        })
+    }
+}
+
+impl Encode for FlightLog {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.window_frames);
+        enc.u64(self.report_limit);
+        self.reports.encode(enc);
+        enc.u64(self.reports_truncated);
+    }
+}
+
+impl Decode for FlightLog {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(FlightLog {
+            window_frames: dec.u64()?,
+            report_limit: dec.u64()?,
+            reports: Vec::<BlackBoxReport>::decode(dec)?,
+            reports_truncated: dec.u64()?,
+        })
+    }
+}
+
+impl Encode for RuleResult {
+    fn encode(&self, enc: &mut Enc) {
+        self.rule.encode(enc);
+        self.observed.encode(enc);
+        enc.f64(self.threshold);
+        self.op.encode(enc);
+        enc.bool(self.pass);
+    }
+}
+
+impl Decode for RuleResult {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(RuleResult {
+            rule: String::decode(dec)?,
+            observed: Option::<f64>::decode(dec)?,
+            threshold: dec.f64()?,
+            op: String::decode(dec)?,
+            pass: dec.bool()?,
+        })
+    }
+}
+
+impl Encode for HealthReport {
+    fn encode(&self, enc: &mut Enc) {
+        self.rules.encode(enc);
+        enc.bool(self.healthy);
+    }
+}
+
+impl Decode for HealthReport {
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(HealthReport {
+            rules: Vec::<RuleResult>::decode(dec)?,
+            healthy: dec.bool()?,
+        })
+    }
+}
+
+/// Seals a flight log into a `KIND_BLACKBOX` envelope.
+pub fn seal_blackbox(log: &FlightLog) -> Vec<u8> {
+    seal(KIND_BLACKBOX, &log.to_wire())
+}
+
+/// Opens and decodes a sealed `KIND_BLACKBOX` envelope.
+pub fn open_blackbox(bytes: &[u8]) -> Result<FlightLog, WireError> {
+    FlightLog::from_wire(open(bytes, KIND_BLACKBOX)?)
+}
+
+/// Seals a health report into a `KIND_HEALTH` envelope.
+pub fn seal_health(report: &HealthReport) -> Vec<u8> {
+    seal(KIND_HEALTH, &report.to_wire())
+}
+
+/// Opens and decodes a sealed `KIND_HEALTH` envelope.
+pub fn open_health(bytes: &[u8]) -> Result<HealthReport, WireError> {
+    HealthReport::from_wire(open(bytes, KIND_HEALTH)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::{default_health_rules, evaluate_health};
+    use crate::snapshot::TelemetrySnapshot;
+
+    fn sample_log() -> FlightLog {
+        FlightLog {
+            window_frames: 4,
+            report_limit: 32,
+            reports: vec![BlackBoxReport {
+                sequence: 1,
+                trigger: RecoveryKind::ModelFallback,
+                frame: 3,
+                window: vec![
+                    FrameWindow {
+                        frame: 2,
+                        events: vec!["frame_captured pixels=64".to_string()],
+                    },
+                    FrameWindow {
+                        frame: 3,
+                        events: vec![
+                            "fault_injected kind=seu".to_string(),
+                            "fault_recovered kind=model_fallback".to_string(),
+                        ],
+                    },
+                ],
+            }],
+            reports_truncated: 0,
+        }
+    }
+
+    #[test]
+    fn blackbox_seals_and_reopens_byte_identically() {
+        let log = sample_log();
+        let sealed = seal_blackbox(&log);
+        let back = open_blackbox(&sealed).expect("open");
+        assert_eq!(back, log);
+        assert_eq!(seal_blackbox(&back), sealed, "re-seal must be byte-identical");
+    }
+
+    #[test]
+    fn health_reports_seal_and_reopen() {
+        let report = evaluate_health(&TelemetrySnapshot::empty(), &default_health_rules());
+        let sealed = seal_health(&report);
+        let back = open_health(&sealed).expect("open");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_not_a_panic() {
+        let mut sealed = seal_blackbox(&sample_log());
+        if let Some(byte) = sealed.last_mut() {
+            *byte ^= 0xff;
+        }
+        assert!(open_blackbox(&sealed).is_err());
+        assert!(open_blackbox(&[]).is_err());
+        assert!(open_health(&seal_blackbox(&sample_log())).is_err(), "kind mismatch");
+    }
+
+    #[test]
+    fn bad_recovery_tags_are_rejected() {
+        assert!(matches!(
+            RecoveryKind::from_wire(&[9]),
+            Err(WireError::BadTag { what: "RecoveryKind", tag: 9 })
+        ));
+    }
+}

@@ -45,6 +45,13 @@ pub const KIND_MODEL: u16 = 4;
 /// Section kind: an encoded `SelectionLogic` for one deployment target.
 pub const KIND_SELECTION: u16 = 5;
 
+/// Section kind: a flight-recorder black-box log (downlinked telemetry
+/// for post-mortem triage).
+pub const KIND_BLACKBOX: u16 = 6;
+
+/// Section kind: an encoded mission health report.
+pub const KIND_HEALTH: u16 = 7;
+
 /// Human-readable name for a section kind tag.
 pub fn kind_name(kind: u16) -> &'static str {
     match kind {
@@ -53,6 +60,8 @@ pub fn kind_name(kind: u16) -> &'static str {
         KIND_BUNDLE => "bundle",
         KIND_MODEL => "model",
         KIND_SELECTION => "selection",
+        KIND_BLACKBOX => "blackbox",
+        KIND_HEALTH => "health",
         _ => "unknown",
     }
 }
@@ -65,6 +74,8 @@ pub fn kind_tag(name: &str) -> Option<u16> {
         "bundle" => Some(KIND_BUNDLE),
         "model" => Some(KIND_MODEL),
         "selection" => Some(KIND_SELECTION),
+        "blackbox" => Some(KIND_BLACKBOX),
+        "health" => Some(KIND_HEALTH),
         _ => None,
     }
 }
@@ -205,7 +216,15 @@ mod tests {
 
     #[test]
     fn kind_names_roundtrip() {
-        for kind in [KIND_CONFIG, KIND_CONTEXTS, KIND_BUNDLE, KIND_MODEL, KIND_SELECTION] {
+        for kind in [
+            KIND_CONFIG,
+            KIND_CONTEXTS,
+            KIND_BUNDLE,
+            KIND_MODEL,
+            KIND_SELECTION,
+            KIND_BLACKBOX,
+            KIND_HEALTH,
+        ] {
             assert_eq!(kind_tag(kind_name(kind)), Some(kind));
         }
         assert_eq!(kind_tag("unknown"), None);

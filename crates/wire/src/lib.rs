@@ -36,4 +36,6 @@ pub mod store;
 
 pub use codec::{Dec, Decode, Enc, Encode, WireError};
 pub use envelope::{open, peek, seal, Section, WIRE_VERSION};
-pub use store::{ArtifactStore, Manifest, ManifestEntry, UPLINK_BUDGET_BYTES};
+pub use store::{
+    ArtifactStore, Manifest, ManifestEntry, ObjectHealth, StoreHealth, UPLINK_BUDGET_BYTES,
+};

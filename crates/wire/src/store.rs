@@ -269,53 +269,121 @@ impl ArtifactStore {
     }
 }
 
+/// One manifest entry's verification outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectHealth {
+    /// The manifest entry that was verified.
+    pub entry: ManifestEntry,
+    /// `None` when the object read back clean and its envelope opened;
+    /// otherwise a rendering of the failure.
+    pub error: Option<String>,
+}
+
+/// A structured store verification: every object's status plus the
+/// store coordinates, sorted by entry name. `inspect` renders this;
+/// `kodan artifacts inspect --telemetry` turns it into counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// The deployment target from the manifest.
+    pub target: String,
+    /// The transformation seed from the manifest.
+    pub seed: u64,
+    /// The config fingerprint from the manifest.
+    pub config_fingerprint: u64,
+    /// Per-object outcomes, sorted by name.
+    pub objects: Vec<ObjectHealth>,
+    /// Total encoded bytes across all entries.
+    pub total_bytes: u64,
+}
+
+impl StoreHealth {
+    /// Number of objects that failed verification.
+    pub fn corrupt_count(&self) -> u64 {
+        self.objects.iter().filter(|o| o.error.is_some()).count() as u64
+    }
+
+    /// Renders the human-readable manifest/section/size/checksum table
+    /// shown by `kodan artifacts inspect`. `root` is only echoed in the
+    /// header line.
+    pub fn render(&self, root: &Path) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "artifact store at {}", root.display());
+        let _ = writeln!(
+            out,
+            "target {}   seed {}   config fingerprint {:016x}",
+            self.target, self.seed, self.config_fingerprint
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<18} {:<10} {:>9} {:>9} {:>17}  status",
+            "name", "kind", "bytes", "crc32", "digest"
+        );
+        for object in &self.objects {
+            let e = &object.entry;
+            let status = match &object.error {
+                None => "ok".to_string(),
+                Some(err) => format!("CORRUPT ({err})"),
+            };
+            let _ = writeln!(
+                out,
+                "{:<18} {:<10} {:>9} {:>9} {:>17}  {}",
+                e.name,
+                envelope::kind_name(e.kind),
+                e.bytes,
+                format!("{:08x}", e.crc32),
+                format!("{:016x}", e.digest),
+                status
+            );
+        }
+        let total = self.total_bytes;
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "total {total} bytes — {:.1}% of the {UPLINK_BUDGET_BYTES}-byte modeled uplink budget",
+            100.0 * total as f64 / UPLINK_BUDGET_BYTES as f64
+        );
+        out
+    }
+}
+
+/// Opens a store and verifies every object against its manifest entry:
+/// content digest, envelope magic/version/kind, and payload CRC-32.
+pub fn verify(root: &Path) -> Result<StoreHealth, WireError> {
+    let store = ArtifactStore::open(root)?;
+    let manifest = store.manifest()?;
+    let mut entries: Vec<&ManifestEntry> = manifest.entries.iter().collect();
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    let objects = entries
+        .into_iter()
+        .map(|e| {
+            let error = match store
+                .read(e)
+                .and_then(|bytes| envelope::open(&bytes, e.kind).map(|_| ()))
+            {
+                Ok(()) => None,
+                Err(err) => Some(err.to_string()),
+            };
+            ObjectHealth {
+                entry: e.clone(),
+                error,
+            }
+        })
+        .collect();
+    Ok(StoreHealth {
+        target: manifest.target.clone(),
+        seed: manifest.seed,
+        config_fingerprint: manifest.config_fingerprint,
+        objects,
+        total_bytes: manifest.total_bytes(),
+    })
+}
+
 /// Renders a human-readable manifest/section/size/checksum table for a
 /// store directory, verifying each object as it goes (`kodan artifacts
 /// inspect` is a thin wrapper around this).
 pub fn inspect(root: &Path) -> Result<String, WireError> {
-    let store = ArtifactStore::open(root)?;
-    let manifest = store.manifest()?;
-    let mut out = String::new();
-    let _ = writeln!(out, "artifact store at {}", root.display());
-    let _ = writeln!(
-        out,
-        "target {}   seed {}   config fingerprint {:016x}",
-        manifest.target, manifest.seed, manifest.config_fingerprint
-    );
-    let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "{:<18} {:<10} {:>9} {:>9} {:>17}  status",
-        "name", "kind", "bytes", "crc32", "digest"
-    );
-    let mut entries: Vec<&ManifestEntry> = manifest.entries.iter().collect();
-    entries.sort_by(|a, b| a.name.cmp(&b.name));
-    for e in entries {
-        let status = match store.read(e).and_then(|bytes| {
-            envelope::open(&bytes, e.kind).map(|_| ())
-        }) {
-            Ok(()) => "ok".to_string(),
-            Err(err) => format!("CORRUPT ({err})"),
-        };
-        let _ = writeln!(
-            out,
-            "{:<18} {:<10} {:>9} {:>9} {:>17}  {}",
-            e.name,
-            envelope::kind_name(e.kind),
-            e.bytes,
-            format!("{:08x}", e.crc32),
-            format!("{:016x}", e.digest),
-            status
-        );
-    }
-    let total = manifest.total_bytes();
-    let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "total {total} bytes — {:.1}% of the {UPLINK_BUDGET_BYTES}-byte modeled uplink budget",
-        100.0 * total as f64 / UPLINK_BUDGET_BYTES as f64
-    );
-    Ok(out)
+    verify(root).map(|health| health.render(root))
 }
 
 #[cfg(test)]
@@ -442,6 +510,37 @@ mod tests {
         assert!(table.contains("good"), "table: {table}");
         assert!(table.contains("CORRUPT"), "table: {table}");
         assert!(table.contains("uplink budget"), "table: {table}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_reports_structured_object_health() {
+        let dir = scratch("wire_store_verify");
+        let store = ArtifactStore::create(&dir).expect("create");
+        let good = store.put("good", &seal(KIND_MODEL, b"fine")).expect("put");
+        let bad = store.put("bad", &seal(KIND_MODEL, b"doomed")).expect("put");
+        store
+            .write_manifest(&sample_manifest(vec![good, bad.clone()]))
+            .expect("manifest");
+        let path = store.object_path(bad.digest);
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[17] ^= 0xff;
+        fs::write(&path, &bytes).expect("write");
+
+        let health = verify(&dir).expect("verify");
+        assert_eq!(health.target, "orin_agx_15w");
+        assert_eq!(health.objects.len(), 2);
+        assert_eq!(health.corrupt_count(), 1);
+        // Sorted by name: "bad" before "good".
+        let first = health.objects.first().expect("object");
+        assert_eq!(first.entry.name, "bad");
+        assert!(first.error.is_some());
+        assert!(health.objects.last().expect("object").error.is_none());
+        assert_eq!(
+            health.total_bytes,
+            health.objects.iter().map(|o| o.entry.bytes).sum::<u64>()
+        );
 
         fs::remove_dir_all(&dir).ok();
     }

@@ -439,3 +439,141 @@ fn selection_is_reproducible_across_rederivations() {
         assert_eq!(a, b, "selection for {target} not reproducible");
     }
 }
+
+#[test]
+fn trace_export_is_byte_identical_at_any_worker_count() {
+    // The trace exporter is just another Recorder fed through the same
+    // tape-replay path as the summary recorder, so the Chrome trace JSON
+    // — event order, modeled timestamps, thread lanes — must not depend
+    // on the worker count.
+    use kodan_telemetry::TraceBuilder;
+
+    let dataset = small_dataset(1);
+    let artifacts = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = World::new(42);
+    let params = MissionParams {
+        sample_frames: 6,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 1.0,
+    };
+    let run = |workers: usize| {
+        let mut tracer = TraceBuilder::new();
+        let logic = artifacts.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let runtime = Runtime::new(logic, artifacts.engine.clone()).with_workers(workers);
+        Mission::new(&env, &world, params).run_with_runtime_recorded(
+            &runtime,
+            SystemKind::Kodan,
+            &mut tracer,
+        );
+        tracer.to_chrome_json()
+    };
+    let serial = run(1);
+    assert!(serial.contains("\"traceEvents\""));
+    assert!(serial.contains("\"cat\": \"runtime\""));
+    for workers in [2, 4] {
+        assert_eq!(
+            serial.as_bytes(),
+            run(workers).as_bytes(),
+            "{workers}-worker trace diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn tape_replay_feeds_trace_export_identically() {
+    // A TapeRecorder capture replayed into a TraceBuilder must produce
+    // the same trace as recording live: the tape preserves the nested
+    // span structure (frame -> classification/elision/model execution)
+    // that the trace lanes are built from.
+    use kodan_telemetry::{Recorder, TapeRecorder, TelemetryEvent, TraceBuilder};
+    use kodan_telemetry::StageId;
+
+    let mut live = TraceBuilder::new();
+    let mut tape = TapeRecorder::new();
+    for frame in 0..3u64 {
+        for r in [&mut live as &mut dyn Recorder, &mut tape as &mut dyn Recorder] {
+            r.event(TelemetryEvent::FrameCaptured { pixels: 100 + frame });
+            r.span(StageId::Classification, 0.25, 36);
+            r.span(StageId::ModelExecution, 0.5, 12);
+            r.span(StageId::Frame, 1.0, 1);
+        }
+    }
+    let mut replayed = TraceBuilder::new();
+    tape.replay_into(&mut replayed);
+    assert_eq!(
+        live.to_chrome_json().as_bytes(),
+        replayed.to_chrome_json().as_bytes(),
+        "tape replay diverged from live trace capture"
+    );
+}
+
+#[test]
+fn black_box_reports_are_byte_identical_at_any_worker_count() {
+    // Every degradation freezes a black-box window of the frames leading
+    // up to it. Under a fault plan the set of degradations is a pure
+    // function of (seed, site identity), so the whole black-box log —
+    // report count, trigger kinds, captured event windows — must be
+    // byte-identical at 1, 2 and 4 workers.
+    use kodan_faults::{FaultConfig, FaultPlan};
+    use kodan_telemetry::{open_blackbox, seal_blackbox, FlightRecorder};
+
+    let dataset = small_dataset(1);
+    let artifacts = Transformation::new(KodanConfig::fast(9))
+        .run(&dataset, ModelArch::MobileNetV2DilatedC1)
+        .expect("transformation succeeds");
+    let env = SpaceEnvironment::fixed(0.21);
+    let world = World::new(42);
+    let params = MissionParams {
+        sample_frames: 6,
+        frame_px: 132,
+        frame_km: 150.0,
+        sample_window_days: 1.0,
+    };
+    let run = |workers: usize| {
+        let plan = FaultPlan::new(FaultConfig::nominal(99)).expect("nominal plan is valid");
+        let logic = artifacts.select_with_capacity(
+            HwTarget::OrinAgx15W,
+            env.frame_deadline,
+            env.capacity_fraction,
+        );
+        let fallback = artifacts
+            .grid_artifacts(logic.grid())
+            .expect("selected grid exists")
+            .global_model
+            .clone();
+        let runtime = Runtime::new(logic, artifacts.engine.clone())
+            .with_workers(workers)
+            .with_fault_plan(plan, fallback);
+        let mut recorder = FlightRecorder::new(SummaryRecorder::new());
+        Mission::new(&env, &world, params).run_with_runtime_recorded(
+            &runtime,
+            SystemKind::Kodan,
+            &mut recorder,
+        );
+        (recorder.blackbox_json(), seal_blackbox(&recorder.log()))
+    };
+    let (json_1, wire_1) = run(1);
+    // The plan actually fired, so the log is non-trivial.
+    let log_1 = open_blackbox(&wire_1).expect("sealed log opens");
+    assert!(
+        !log_1.reports.is_empty(),
+        "nominal plan produced no black-box reports over the mission"
+    );
+    for workers in [2, 4] {
+        let (json_n, wire_n) = run(workers);
+        assert_eq!(
+            json_1.as_bytes(),
+            json_n.as_bytes(),
+            "{workers}-worker black-box log diverged from serial"
+        );
+        assert_eq!(wire_1, wire_n, "{workers}-worker sealed black-box diverged");
+    }
+}

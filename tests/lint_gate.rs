@@ -244,6 +244,75 @@ fn gate_covers_the_wire_crate() {
 }
 
 #[test]
+fn gate_covers_the_observability_modules() {
+    // The flight recorder / trace exporter live inside the telemetry
+    // crate's determinism scope: they promise byte-identical output, so
+    // they must not touch the filesystem directly (reports flow out
+    // through the CLI or the wire envelope). Seed a raw std::fs write
+    // into a fake trace.rs and confirm io-discipline fires.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_gate_obs_fixture");
+    let src_dir = dir.join("crates/telemetry/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+    std::fs::write(
+        src_dir.join("trace.rs"),
+        "pub fn export(json: &str) {\n    \
+         std::fs::write(\"trace.json\", json).ok();\n}\n",
+    )
+    .expect("write fixture");
+
+    let rules = default_rules();
+    let report = check(&dir, &rules).expect("fixture scan succeeds");
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.exit_code(), 1, "determinism bit must fire");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule_id == "io-discipline"),
+        "expected an io-discipline diagnostic, got: {:?}",
+        report.diagnostics
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_parser_is_a_protected_entry_point() {
+    // `kodan health --snapshot` and `kodan diff` feed arbitrary
+    // (possibly corrupted) files into TelemetrySnapshot::from_json, so
+    // the whole parser call tree is panic-checked: a seeded indexing
+    // expression below the entry must be caught with a witness chain.
+    let rules = default_rules();
+    let sources = vec![(
+        "crates/telemetry/src/parse.rs".to_string(),
+        "impl TelemetrySnapshot {\n    \
+             pub fn from_json(text: &str) -> u8 { scan(text, 9) }\n\
+         }\n\
+         fn scan(text: &str, i: usize) -> u8 {\n    \
+             text.as_bytes()[i]\n\
+         }\n"
+            .to_string(),
+    )];
+    let analysis = analyze_sources(&sources, &rules);
+    let d = analysis
+        .report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule_id == "panic-reachable")
+        .expect("panic-reachable fires below the parser entry");
+    assert!(
+        d.chain[0].contains("TelemetrySnapshot::from_json"),
+        "chain must start at the parser entry: {:?}",
+        d.chain
+    );
+    assert_ne!(
+        analysis.report.exit_code() & 2,
+        0,
+        "panic-safety bit must fire"
+    );
+}
+
+#[test]
 fn gate_catches_reachable_panics_with_a_witness_chain() {
     // The interprocedural pass must walk from a protected entry point
     // through helpers to the panic seed and report the full path, so a

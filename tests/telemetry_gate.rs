@@ -109,7 +109,7 @@ fn summary_recorder_snapshot_is_faithful_end_to_end() {
     // round-trips through its own JSON without losing the schema header.
     assert!(!snapshot.journal.is_empty());
     let json = snapshot.to_json();
-    assert!(json.contains("\"schema_version\": 3"));
+    assert!(json.contains("\"schema_version\": 4"));
     assert!(json.contains("\"spans\""));
     assert!(json.contains("\"journal\""));
 }
